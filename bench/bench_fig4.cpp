@@ -1,0 +1,91 @@
+// Fig. 4 — strong scaling. Left plot analog: M2' with small k to a tight
+// tolerance. Right plot analog: M4' and M5' with a larger k. Speedups over
+// np = 1 of the virtual-time parallel runtimes for RandQB_EI (p = 1),
+// LU_CRTP and ILUT_CRTP.
+//
+//   ./bench_fig4 [--scale=0.2] [--np=1,2,4,8,16,32] [--k_left=16]
+//                [--k_right=32] [--tau_left=1e-4] [--tau_right=1e-3]
+
+#include "bench_util.hpp"
+#include "core/lu_crtp_dist.hpp"
+#include "core/randqb_ei_dist.hpp"
+
+namespace {
+
+using namespace lra;
+
+void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
+                   const std::vector<long long>& nps) {
+  std::printf("running %s' (%ld x %ld), k = %ld, tau = %.0e ...\n",
+              m.label.c_str(), m.a.rows(), m.a.cols(), k, tau);
+  const Index budget = std::min(m.a.rows(), m.a.cols()) * 9 / 10;
+  double base_qb = 0.0, base_lu = 0.0, base_il = 0.0;
+  Index lu_its = 0;
+  for (const long long np : nps) {
+    if (np * k > std::min(m.a.rows(), m.a.cols())) break;  // as in Fig. 5
+    RandQbOptions ro;
+    ro.block_size = k;
+    ro.tau = tau;
+    ro.power = 1;
+    ro.max_rank = budget;
+    const double t_qb =
+        randqb_ei_dist(m.a, ro, static_cast<int>(np)).virtual_seconds;
+
+    LuCrtpOptions lo;
+    lo.block_size = k;
+    lo.tau = tau;
+    lo.max_rank = budget;
+    const DistLuResult lu = lu_crtp_dist(m.a, lo, static_cast<int>(np));
+    if (np == nps.front()) lu_its = lu.result.iterations;
+
+    LuCrtpOptions io = lo;
+    io.threshold = ThresholdMode::kIlut;
+    io.estimated_iterations = lu_its;
+    const double t_il =
+        lu_crtp_dist(m.a, io, static_cast<int>(np)).virtual_seconds;
+
+    if (np == nps.front()) {
+      base_qb = t_qb;
+      base_lu = lu.virtual_seconds;
+      base_il = t_il;
+    }
+    t.row()
+        .cell(m.label + "'")
+        .cell(static_cast<long long>(np))
+        .cell(base_qb / t_qb, 3)
+        .cell(base_lu / lu.virtual_seconds, 3)
+        .cell(base_il / t_il, 3)
+        .cell(t_qb, 3)
+        .cell(lu.virtual_seconds, 3)
+        .cell(t_il, 3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lra;
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 0.2);
+  const auto nps = cli.get_int_list("np", {1, 2, 4, 8, 16, 32});
+  const Index k_left = cli.get_int("k_left", 16);
+  const Index k_right = cli.get_int("k_right", 32);
+  const double tau_left = cli.get_double("tau_left", 1e-4);
+  const double tau_right = cli.get_double("tau_right", 1e-3);
+
+  bench::print_header("Fig. 4: strong scaling (speedup over np = 1)",
+                      "Fig. 4 of the paper (left: M2; right: M4, M5)");
+
+  Table t({"label", "np", "speedup RandQB_EI", "speedup LU_CRTP",
+           "speedup ILUT_CRTP", "t_qb (s)", "t_lu (s)", "t_ilut (s)"});
+
+  scaling_block(t, make_preset("M2", scale), k_left, tau_left, nps);
+  scaling_block(t, make_preset("M4", scale), k_right, tau_right, nps);
+  scaling_block(t, make_preset("M5", scale), k_right, tau_right, nps);
+
+  std::printf("\n");
+  t.print(std::cout);
+  t.write_csv("fig4.csv");
+  std::printf("\nwrote fig4.csv\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the computational kernels every
+// algorithm in this repo is built from. Useful for tracking regressions and
+// for sanity-checking the Section IV complexity model constants.
+
+#include <benchmark/benchmark.h>
+
+#include "dense/blas.hpp"
+#include "dense/qr.hpp"
+#include "dense/qrcp.hpp"
+#include "dense/tsqr.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "qrtp/tournament.hpp"
+#include "sparse/colamd.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace lra;
+
+CscMatrix bench_sparse(Index n, std::uint64_t seed = 5) {
+  return givens_spray(geometric_spectrum(n, 1.0, 0.99),
+                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                       .seed = seed});
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Matrix a = Matrix::gaussian(n, n, 1);
+  const Matrix b = Matrix::gaussian(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    gemm(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HouseholderQr(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Matrix a = Matrix::gaussian(m, 32, 3);
+  for (auto _ : state) {
+    HouseholderQR f(a);
+    benchmark::DoNotOptimize(f.packed().data());
+  }
+}
+BENCHMARK(BM_HouseholderQr)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Qrcp(benchmark::State& state) {
+  const Index m = state.range(0);
+  const Matrix a = Matrix::gaussian(m, 64, 4);
+  for (auto _ : state) {
+    QRCP f(a, 32);
+    benchmark::DoNotOptimize(f.perm().data());
+  }
+}
+BENCHMARK(BM_Qrcp)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Tsqr(benchmark::State& state) {
+  const Matrix a = Matrix::gaussian(state.range(0), 32, 5);
+  for (auto _ : state) {
+    const TsqrResult f = tsqr(a, 128);
+    benchmark::DoNotOptimize(f.q.data());
+  }
+}
+BENCHMARK(BM_Tsqr)->Arg(1024)->Arg(4096);
+
+void BM_Spmm(benchmark::State& state) {
+  const CscMatrix a = bench_sparse(state.range(0));
+  const Matrix b = Matrix::gaussian(a.cols(), 32, 6);
+  for (auto _ : state) {
+    const Matrix c = spmm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * a.nnz() * 32);
+}
+BENCHMARK(BM_Spmm)->Arg(512)->Arg(2048);
+
+void BM_Spgemm(benchmark::State& state) {
+  const CscMatrix a = bench_sparse(state.range(0), 7);
+  const CscMatrix b = bench_sparse(state.range(0), 8);
+  for (auto _ : state) {
+    const CscMatrix c = spgemm(a, b);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_Spgemm)->Arg(256)->Arg(1024);
+
+void BM_TournamentSelect(benchmark::State& state) {
+  const CscMatrix a = bench_sparse(state.range(0), 9);
+  for (auto _ : state) {
+    const auto win = qr_tp_select(a, 16);
+    benchmark::DoNotOptimize(win.data());
+  }
+}
+BENCHMARK(BM_TournamentSelect)->Arg(256)->Arg(1024);
+
+void BM_Colamd(benchmark::State& state) {
+  const CscMatrix a = bench_sparse(state.range(0), 10);
+  for (auto _ : state) {
+    const Perm p = colamd_order(a);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Colamd)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,45 @@
+#pragma once
+// Shared helpers for the table/figure reproduction harnesses.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/presets.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace lra::bench {
+
+/// Labels requested via --matrices=M1,M2 (default: all).
+inline std::vector<std::string> requested_labels(const Cli& cli) {
+  const std::string arg = cli.get("matrices", "");
+  if (arg.empty()) return preset_labels();
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    const std::size_t next = arg.find(',', pos);
+    const std::string tok =
+        arg.substr(pos, next == std::string::npos ? arg.npos : next - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n  reproduces: %s\n", what, paper_ref);
+  std::printf("  (synthetic analogs M1'-M6'; shapes comparable, absolute\n"
+              "   numbers differ from the paper's VSC4 runs -- see DESIGN.md)\n");
+  std::printf("=============================================================\n\n");
+}
+
+/// "-" for sentinel values in tables.
+inline std::string or_dash(long long v, long long sentinel = -1) {
+  return v == sentinel ? "-" : std::to_string(v);
+}
+
+}  // namespace lra::bench

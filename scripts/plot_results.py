@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Render the paper-shaped figures from the CSV files the bench binaries emit.
+
+Usage:
+    python3 scripts/plot_results.py [--dir results] [--out figures]
+
+Reads fig1_right.csv, fig2.csv, fig3.csv, fig4.csv (and, when present,
+fig1_left.csv, scale_sweep.csv) and writes one PNG per paper figure.
+Requires matplotlib; exits with a clear message when it is unavailable.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        return None
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def series(rows, key_fields, x_field, y_field):
+    """Group rows by key_fields and return {key: ([x...], [y...])}."""
+    out = defaultdict(lambda: ([], []))
+    for row in rows:
+        key = tuple(row[k] for k in key_fields)
+        out[key][0].append(float(row[x_field]))
+        out[key][1].append(float(row[y_field]))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default=".", help="directory holding the CSVs")
+    ap.add_argument("--out", default="figures", help="output directory")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    os.makedirs(args.out, exist_ok=True)
+
+    def save(fig, name):
+        path = os.path.join(args.out, name)
+        fig.tight_layout()
+        fig.savefig(path, dpi=150)
+        print("wrote", path)
+
+    # --- Fig. 1 right: fill-in progression ---
+    rows = read_csv(os.path.join(args.dir, "fig1_right.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        for key, (xs, ys) in series(rows, ["label"], "iteration",
+                                    "density nnz/(rows*cols)").items():
+            ax.plot(xs, ys, marker="o", label=key[0])
+        ax.set_xlabel("LU_CRTP iteration")
+        ax.set_ylabel("density of A^(i)")
+        ax.set_title("Fill-in progression (paper Fig. 1 right)")
+        ax.legend()
+        save(fig, "fig1_right.png")
+
+    # --- Figs. 2/3: runtime vs quality ---
+    for name, title in [("fig2.csv", "Runtime vs quality (paper Fig. 2)"),
+                        ("fig3.csv", "Runtime vs quality, M5' (paper Fig. 3)")]:
+        rows = read_csv(os.path.join(args.dir, name))
+        if not rows:
+            continue
+        keys = ["label", "method"] if "label" in rows[0] else ["method"]
+        fig, ax = plt.subplots()
+        for key, (xs, ys) in series(rows, keys, "time (s)",
+                                    "achieved rel. error").items():
+            ax.plot(xs, ys, marker=".", label=" ".join(key))
+        ax.set_xlabel("virtual time (s)")
+        ax.set_ylabel("achieved relative error")
+        ax.set_yscale("log")
+        ax.set_title(title)
+        ax.legend(fontsize=7)
+        save(fig, name.replace(".csv", ".png"))
+
+    # --- Fig. 4: strong scaling ---
+    rows = read_csv(os.path.join(args.dir, "fig4.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        for method in ("RandQB_EI", "LU_CRTP", "ILUT_CRTP"):
+            col = f"speedup {method}"
+            for key, (xs, ys) in series(rows, ["label"], "np", col).items():
+                ax.plot(xs, ys, marker="o", label=f"{key[0]} {method}")
+        ax.plot([1, max(float(r["np"]) for r in rows)],
+                [1, max(float(r["np"]) for r in rows)],
+                "k--", linewidth=0.7, label="ideal")
+        ax.set_xlabel("simulated ranks (np)")
+        ax.set_ylabel("speedup over np = 1")
+        ax.set_title("Strong scaling (paper Fig. 4)")
+        ax.legend(fontsize=7)
+        save(fig, "fig4.png")
+
+    # --- Fig. 1 left: EDF of nnz ratios ---
+    rows = read_csv(os.path.join(args.dir, "fig1_left.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        for col in ("ratio_nnz (COLAMD first)", "ratio_nnz (no COLAMD)",
+                    "ratio_nnz (COLAMD every)"):
+            xs = [float(r["decile"]) for r in rows]
+            ys = [float(r[col]) for r in rows]
+            ax.plot(xs, ys, marker=".", label=col)
+        ax.set_xlabel("empirical distribution (percentile)")
+        ax.set_ylabel("nnz(LU factors) / nnz(ILUT factors)")
+        ax.set_title("Thresholding effectiveness (paper Fig. 1 left)")
+        ax.legend(fontsize=7)
+        save(fig, "fig1_left.png")
+
+    # --- Scale sweep ablation ---
+    rows = read_csv(os.path.join(args.dir, "scale_sweep.csv"))
+    if rows:
+        fig, ax = plt.subplots()
+        xs = [float(r["n"]) for r in rows]
+        ax.plot(xs, [float(r["lu/qb gap"]) for r in rows], marker="o",
+                label="LU / RandQB time gap")
+        ax.plot(xs, [float(r["lu/ilut speedup"]) for r in rows], marker="s",
+                label="ILUT speedup over LU")
+        ax.plot(xs, [float(r["ratio_nnz"]) for r in rows], marker="^",
+                label="nnz ratio")
+        ax.set_xlabel("matrix size n")
+        ax.set_ylabel("factor")
+        ax.set_title("Fill-in effects grow with scale")
+        ax.legend()
+        save(fig, "scale_sweep.png")
+
+
+if __name__ == "__main__":
+    main()

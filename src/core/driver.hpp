@@ -1,0 +1,76 @@
+#pragma once
+// Unified fixed-precision driver — the single entry point a downstream user
+// adopts: pick a method (or let the library pick), get back a uniform
+// low-rank approximation object with apply/assemble/introspection.
+
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "core/ilut_crtp.hpp"
+#include "core/lu_crtp.hpp"
+#include "core/randqb_ei.hpp"
+#include "core/randubv.hpp"
+
+namespace lra {
+
+enum class Method {
+  kAuto,      // heuristic choice based on tau and sparsity (see driver.cpp)
+  kRandQbEi,
+  kLuCrtp,
+  kIlutCrtp,
+  kRandUbv,
+};
+
+const char* to_string(Method m);
+Method method_from_string(const std::string& s);
+
+struct ApproxOptions {
+  Method method = Method::kAuto;
+  double tau = 1e-3;
+  Index block_size = 32;
+  int power = 1;             // RandQB_EI only
+  std::uint64_t seed = 0x5eed;
+  Index max_rank = -1;
+  ColamdMode colamd = ColamdMode::kFirst;  // deterministic methods only
+};
+
+/// Uniform handle over any of the method-specific results.
+class LowRankApprox {
+ public:
+  Method method() const { return method_; }
+  Status status() const;
+  Index rank() const;
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  /// Error indicator at exit, relative to ||A||_F.
+  double indicator_rel() const;
+  /// Stored values in the factors (memory footprint proxy).
+  Index factor_values() const;
+
+  /// y = (H W) x — apply the approximation to a vector.
+  void apply(const double* x, double* y) const;
+  /// y = (H W)^T x.
+  void apply_transpose(const double* x, double* y) const;
+
+  /// Densified factors (H: m x K, W: K x n). For the LU methods this folds
+  /// the permutations back so that H W ~= A (not P_r A P_c).
+  Matrix h_dense() const;
+  Matrix w_dense() const;
+
+  /// Access to the method-specific result.
+  const RandQbResult* as_randqb() const;
+  const LuCrtpResult* as_lu() const;
+  const RandUbvResult* as_ubv() const;
+
+ private:
+  friend LowRankApprox approximate(const CscMatrix&, const ApproxOptions&);
+  Method method_ = Method::kRandQbEi;
+  Index rows_ = 0, cols_ = 0;
+  std::variant<RandQbResult, LuCrtpResult, RandUbvResult> result_;
+};
+
+/// Run the selected fixed-precision method on `a`.
+LowRankApprox approximate(const CscMatrix& a, const ApproxOptions& opts = {});
+
+}  // namespace lra

@@ -1,0 +1,202 @@
+#include "core/fixed_rank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/qr.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace lra {
+
+Matrix rrf(const CscMatrix& a, Index rank, int power, std::uint64_t seed) {
+  const Matrix omega = Matrix::gaussian(a.cols(), rank, seed, 900);
+  Matrix q = orth(spmm(a, omega));
+  for (int p = 0; p < power; ++p) {
+    q = orth(spmm_t(a, q));
+    q = orth(spmm(a, q));
+  }
+  return q;
+}
+
+ArrfResult arrf(const CscMatrix& a, const ArrfOptions& opts) {
+  const Index m = a.rows(), n = a.cols();
+  const Index lmax = std::min(m, n);
+  const Index budget = opts.max_rank < 0 ? lmax : std::min(opts.max_rank, lmax);
+  const double anorm = a.frobenius_norm();
+  // Halko (4.3): with r probe vectors, ||(I - QQ^T) A|| <= 10 sqrt(2/pi) *
+  // max_j ||(I - QQ^T) A w_j|| with probability 1 - 10^{-r}.
+  const double cfac = 10.0 * std::sqrt(2.0 / M_PI);
+  const double target = opts.tau * anorm / cfac;
+
+  ArrfResult res;
+  res.q = Matrix(m, 0);
+  CounterRng stream_counter(opts.seed, 901);
+  (void)stream_counter;
+
+  // Rolling window of r probe images y_j = (I - QQ^T) A w_j.
+  std::vector<std::vector<double>> probes;
+  std::vector<double> probe_norms;
+  std::uint64_t drawn = 0;
+  auto draw_probe = [&] {
+    Matrix w = Matrix::gaussian(n, 1, opts.seed, 902 + drawn++);
+    std::vector<double> y(static_cast<std::size_t>(m));
+    spmv(a, w.col(0), y.data());
+    // project out current Q
+    for (Index j = 0; j < res.q.cols(); ++j) {
+      const double c = dot(m, res.q.col(j), y.data());
+      axpy(m, -c, res.q.col(j), y.data());
+    }
+    probe_norms.push_back(nrm2(m, y.data()));
+    probes.push_back(std::move(y));
+  };
+  for (int r = 0; r < opts.probe_vectors; ++r) draw_probe();
+
+  while (res.rank < budget) {
+    const double worst =
+        *std::max_element(probe_norms.end() - opts.probe_vectors,
+                          probe_norms.end());
+    res.estimate = cfac * worst;
+    if (worst < target) {
+      res.status = Status::kConverged;
+      break;
+    }
+    // Promote the oldest probe to a basis vector (Halko's loop).
+    std::vector<double> y =
+        std::move(probes[probes.size() - static_cast<std::size_t>(opts.probe_vectors)]);
+    // Re-orthogonalize (numerical hygiene) and normalize.
+    for (Index j = 0; j < res.q.cols(); ++j) {
+      const double c = dot(m, res.q.col(j), y.data());
+      axpy(m, -c, res.q.col(j), y.data());
+    }
+    const double ny = nrm2(m, y.data());
+    if (ny < 1e-14 * anorm) {
+      // Degenerate probe; replace it and continue.
+      probes.erase(probes.end() - opts.probe_vectors);
+      probe_norms.erase(probe_norms.end() - opts.probe_vectors);
+      draw_probe();
+      continue;
+    }
+    Matrix qnew(m, res.q.cols() + 1);
+    qnew.set_block(0, 0, res.q);
+    for (Index i = 0; i < m; ++i) qnew(i, res.q.cols()) = y[i] / ny;
+    res.q = std::move(qnew);
+    res.rank += 1;
+
+    // Downdate the remaining probes against the new direction and draw one.
+    const double* qlast = res.q.col(res.rank - 1);
+    for (std::size_t t = probes.size() - opts.probe_vectors + 1;
+         t < probes.size(); ++t) {
+      const double c = dot(m, qlast, probes[t].data());
+      axpy(m, -c, qlast, probes[t].data());
+      probe_norms[t] = nrm2(m, probes[t].data());
+    }
+    draw_probe();
+  }
+  return res;
+}
+
+RsvdRestartResult rsvd_restart(const CscMatrix& a, double tau, Index k0,
+                               int power, std::uint64_t seed) {
+  RsvdRestartResult res;
+  const Index lmax = std::min(a.rows(), a.cols());
+  const double target = tau * a.frobenius_norm();
+  Index k = std::min(k0, lmax);
+  for (;;) {
+    ++res.restarts;
+    const Matrix q = rrf(a, k, power, seed + static_cast<std::uint64_t>(res.restarts));
+    const Matrix b = spmm_t(a, q).transposed();  // k x n
+    res.svd = qb_to_svd(q, b);
+    res.rank = static_cast<Index>(res.svd.sigma.size());
+    // Exact residual check (the restart scheme has no cheap indicator).
+    Matrix h = res.svd.u;
+    for (Index j = 0; j < h.cols(); ++j) {
+      double* c = h.col(j);
+      for (Index i = 0; i < h.rows(); ++i) c[i] *= res.svd.sigma[j];
+    }
+    res.error = residual_fro(a, h, res.svd.v.transposed());
+    if (res.error < target) {
+      res.status = Status::kConverged;
+      return res;
+    }
+    if (k >= lmax) return res;
+    k = std::min(2 * k, lmax);
+  }
+}
+
+RandQbBlockedResult randqb_b(const CscMatrix& a, Index block, double tau,
+                             Index max_rank, std::uint64_t seed) {
+  RandQbBlockedResult res;
+  const Index m = a.rows(), n = a.cols();
+  const Index lmax = std::min(m, n);
+  const Index budget = max_rank < 0 ? lmax : std::min(max_rank, lmax);
+  const double anorm = a.frobenius_norm();
+
+  // The defining (anti-)feature: a dense working copy that absorbs updates.
+  Matrix work = a.to_dense();
+  res.peak_dense_nnz = m * n;
+
+  res.q = Matrix(m, 0);
+  res.b = Matrix(0, n);
+  while (res.rank < budget) {
+    const Index kk = std::min(block, budget - res.rank);
+    const Matrix omega =
+        Matrix::gaussian(n, kk, seed, 950 + static_cast<std::uint64_t>(res.iterations));
+    Matrix qk = orth(matmul(work, omega));
+    // Re-orthogonalize against accumulated Q.
+    if (res.rank > 0) {
+      const Matrix proj = matmul_tn(res.q, qk);
+      gemm(qk, res.q, proj, -1.0, 1.0);
+      qk = orth(qk);
+    }
+    const Matrix bk = matmul_tn(qk, work);  // kk x n
+    // A := A - Q_k B_k (the densifying update).
+    gemm(work, qk, bk, -1.0, 1.0);
+    res.q.append_cols(qk);
+    res.b.append_rows(bk);
+    res.rank += kk;
+    res.iterations += 1;
+    // RandQB_b's "more precise" stopping criterion: the residual IS the
+    // working matrix.
+    if (work.frobenius_norm() < tau * anorm) {
+      res.status = Status::kConverged;
+      break;
+    }
+  }
+  return res;
+}
+
+RandQbResult randqb_fixed_rank(const CscMatrix& a, Index rank,
+                               RandQbOptions opts) {
+  opts.tau = 0.0;  // never satisfied: run to the rank budget
+  opts.max_rank = rank;
+  RandQbResult r = randqb_ei(a, opts);
+  if (r.rank >= std::min({rank, a.rows(), a.cols()}))
+    r.status = Status::kConverged;
+  return r;
+}
+
+LuCrtpResult lu_crtp_fixed_rank(const CscMatrix& a, Index rank,
+                                LuCrtpOptions opts) {
+  opts.tau = 0.0;
+  opts.max_rank = rank;
+  LuCrtpResult r = lu_crtp(a, opts);
+  if (r.rank >= std::min({rank, a.rows(), a.cols()}) &&
+      r.status == Status::kMaxIterations)
+    r.status = Status::kConverged;
+  return r;
+}
+
+SvdResult qb_to_svd(const Matrix& q, const Matrix& b, Index rank) {
+  SvdResult small = jacobi_svd(b);  // b is K x n: u is K x K, v is n x K
+  SvdResult out;
+  const Index kk = rank < 0 ? static_cast<Index>(small.sigma.size())
+                            : std::min<Index>(rank, static_cast<Index>(small.sigma.size()));
+  out.u = matmul(q, small.u.block(0, 0, small.u.rows(), kk));
+  out.v = small.v.block(0, 0, small.v.rows(), kk);
+  out.sigma.assign(small.sigma.begin(), small.sigma.begin() + kk);
+  return out;
+}
+
+}  // namespace lra

@@ -1,0 +1,87 @@
+#pragma once
+// Fixed-rank algorithms and the related-work baselines the paper positions
+// itself against (Section I-A):
+//
+//  * RRF        — the Randomized Range Finder (Halko et al.), the basic
+//                 fixed-rank sketching primitive;
+//  * ARRF       — the Adaptive Randomized Range Finder (Halko Alg. 4.2),
+//                 vector-at-a-time fixed-precision with the probabilistic
+//                 max-column-norm estimator;
+//  * RSVD restart — fixed-precision by repeated fixed-rank RSVD with doubled
+//                 rank until the error criterion holds;
+//  * RandQB_b   — Martinsson/Voronin's blocked QB, whose A := A - Q B update
+//                 *densifies the input* (the reason the paper rules it out
+//                 for sparse matrices — measurable here);
+//  * fixed-rank LU_CRTP and RandQB (rank-budget runs of the main engines).
+
+#include "core/lu_crtp.hpp"
+#include "core/randqb_ei.hpp"
+#include "dense/jacobi_svd.hpp"
+
+namespace lra {
+
+/// Randomized Range Finder: orthonormal Q (m x rank) approximating range(A),
+/// with `power` subspace iterations.
+Matrix rrf(const CscMatrix& a, Index rank, int power = 0,
+           std::uint64_t seed = 0x5eed);
+
+struct ArrfOptions {
+  double tau = 1e-3;       // target ||A - Q Q^T A|| < tau * ||A||_F
+  int probe_vectors = 10;  // r in Halko's (4.3): estimator uses r probes
+  Index max_rank = -1;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct ArrfResult {
+  Status status = Status::kMaxIterations;
+  Matrix q;             // m x K
+  Index rank = 0;
+  double estimate = 0;  // final probabilistic error estimate (absolute)
+};
+
+/// Adaptive Randomized Range Finder (Halko et al., Algorithm 4.2): grows Q
+/// one Gaussian sample at a time until the probabilistic bound
+/// 10 * sqrt(2/pi) * max_j ||y_j|| certifies the target.
+ArrfResult arrf(const CscMatrix& a, const ArrfOptions& opts);
+
+struct RsvdRestartResult {
+  Status status = Status::kMaxIterations;
+  SvdResult svd;      // truncated factors at the accepted rank
+  Index rank = 0;
+  int restarts = 0;   // number of full RSVD computations performed
+  double error = 0;   // exact ||A - U S V^T||_F of the accepted run
+};
+
+/// Fixed-precision by RSVD restarts (Section I-A): compute an RSVD at rank
+/// k0, check the error, double the rank and recompute until (1) holds. Each
+/// restart redoes the sketch from scratch — the cost pattern RandQB_EI's
+/// incremental scheme avoids.
+RsvdRestartResult rsvd_restart(const CscMatrix& a, double tau, Index k0 = 16,
+                               int power = 1, std::uint64_t seed = 0x5eed);
+
+struct RandQbBlockedResult {
+  Status status = Status::kMaxIterations;
+  Matrix q, b;
+  Index rank = 0;
+  Index iterations = 0;
+  Index peak_dense_nnz = 0;  // nonzeros of the densified working copy
+};
+
+/// RandQB_b (Martinsson/Voronin): blocked QB with the explicit update
+/// A := A - Q_k B_k. Faithful to the original — which means the sparse input
+/// is copied to dense storage and stays dense; `peak_dense_nnz` exposes the
+/// memory cost that disqualifies it for large sparse matrices.
+RandQbBlockedResult randqb_b(const CscMatrix& a, Index block, double tau,
+                             Index max_rank = -1, std::uint64_t seed = 0x5eed);
+
+/// Fixed-rank wrappers over the main engines (tau disabled, rank budget set).
+RandQbResult randqb_fixed_rank(const CscMatrix& a, Index rank,
+                               RandQbOptions opts = {});
+LuCrtpResult lu_crtp_fixed_rank(const CscMatrix& a, Index rank,
+                                LuCrtpOptions opts = {});
+
+/// Truncated SVD factors from a QB factorization: A ~= Q B = U S V^T with
+/// U = Q * U_b where [U_b, S, V] = svd(B). Cost O(K^2 (m + n)).
+SvdResult qb_to_svd(const Matrix& q, const Matrix& b, Index rank = -1);
+
+}  // namespace lra

@@ -1,0 +1,24 @@
+#include "core/ilut_crtp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lra {
+
+LuCrtpResult ilut_crtp(const CscMatrix& a, LuCrtpOptions opts) {
+  opts.threshold = ThresholdMode::kIlut;
+  return lu_crtp(a, opts);
+}
+
+LuCrtpResult ilut_crtp_aggressive(const CscMatrix& a, LuCrtpOptions opts) {
+  opts.threshold = ThresholdMode::kAggressive;
+  return lu_crtp(a, opts);
+}
+
+double ilut_mu(double tau, double r11, Index u, Index nnz) {
+  return tau * r11 /
+         (static_cast<double>(std::max<Index>(1, u)) *
+          std::sqrt(static_cast<double>(std::max<Index>(1, nnz))));
+}
+
+}  // namespace lra

@@ -1,0 +1,23 @@
+#pragma once
+// ILUT_CRTP convenience wrappers (Algorithm 3). The heavy lifting is shared
+// with LU_CRTP in core/lu_crtp.cpp; this header packages the paper's
+// parameter conventions (mu heuristic (24), phi control (22)).
+
+#include "core/lu_crtp.hpp"
+
+namespace lra {
+
+/// Run ILUT_CRTP with the standard dropping rule (entries < mu removed).
+/// `estimated_iterations` is u in (24); the paper sets it to the iteration
+/// count of a previous LU_CRTP run with the same parameters.
+LuCrtpResult ilut_crtp(const CscMatrix& a, LuCrtpOptions opts);
+
+/// Run the aggressive variant (Section VI-A): smallest entries below phi are
+/// dropped, most-aggressively, while the accumulated mass respects (22).
+LuCrtpResult ilut_crtp_aggressive(const CscMatrix& a, LuCrtpOptions opts);
+
+/// The mu heuristic (24) for given tolerance, |R^(1)(1,1)|, estimated
+/// iteration count u and nnz(A).
+double ilut_mu(double tau, double r11, Index u, Index nnz);
+
+}  // namespace lra

@@ -1,0 +1,30 @@
+#pragma once
+// Distributed-memory LU_CRTP / ILUT_CRTP on the virtual-time runtime
+// (Section V of the paper). Layout: A^(i) and U_K are distributed by columns
+// (cyclic), L_K by rows. Column QR_TP runs as a two-stage reduction tree;
+// the k selected columns are QR-factored on one process and the orthogonal
+// factor is broadcast; the row tournament runs on row slices of Q; the
+// A21 A11^{-1} solve is scattered over ranks and allgathered; the Schur
+// update is embarrassingly parallel over local columns.
+
+#include <map>
+#include <string>
+
+#include "core/lu_crtp.hpp"
+#include "par/simcomm.hpp"
+
+namespace lra {
+
+struct DistLuResult {
+  LuCrtpResult result;            // factors + permutations, assembled
+  double virtual_seconds = 0.0;   // max over ranks of the final clock
+  std::map<std::string, double> kernel_seconds;  // max over ranks
+  std::vector<double> iter_vseconds;   // cumulative virtual time per iteration
+  std::vector<double> iter_indicator;  // relative error indicator per iteration
+  std::vector<Index> iter_rank;        // K after each iteration
+};
+
+DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
+                          int nranks, CostModel cm = {});
+
+}  // namespace lra

@@ -1,0 +1,108 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/jacobi_svd.hpp"
+#include "sparse/ops.hpp"
+#include "support/rng.hpp"
+
+namespace lra {
+namespace {
+
+// One application of the residual operator R = A - H W and its transpose.
+void apply_residual(const CscMatrix& a, const Matrix& h, const Matrix& w,
+                    const double* x, double* y, std::vector<double>& tmp) {
+  // y = A x - H (W x)
+  spmv(a, x, y);
+  if (h.cols() > 0) {
+    tmp.assign(static_cast<std::size_t>(w.rows()), 0.0);
+    gemv(tmp.data(), w, x);
+    gemv(y, h, tmp.data(), -1.0, 1.0);
+  }
+}
+
+void apply_residual_t(const CscMatrix& a, const Matrix& h, const Matrix& w,
+                      const double* x, double* y, std::vector<double>& tmp) {
+  // y = A^T x - W^T (H^T x)
+  spmv_t(a, x, y);
+  if (h.cols() > 0) {
+    tmp.assign(static_cast<std::size_t>(h.cols()), 0.0);
+    gemv(tmp.data(), h, x, 1.0, 0.0, Trans::kYes);
+    gemv(y, w, tmp.data(), -1.0, 1.0, Trans::kYes);
+  }
+}
+
+}  // namespace
+
+double spectral_norm_estimate(const CscMatrix& a, int iterations,
+                              std::uint64_t seed) {
+  const Matrix empty_h(a.rows(), 0);
+  const Matrix empty_w(0, a.cols());
+  return residual_spectral_norm(a, empty_h, empty_w, iterations, seed);
+}
+
+double residual_spectral_norm(const CscMatrix& a, const Matrix& h,
+                              const Matrix& w, int iterations,
+                              std::uint64_t seed) {
+  const Index m = a.rows(), n = a.cols();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  fill_gaussian(seed, 31, x);
+  std::vector<double> y(static_cast<std::size_t>(m));
+  std::vector<double> tmp;
+  double norm = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    const double nx = nrm2(n, x.data());
+    if (nx == 0.0) return 0.0;
+    for (double& v : x) v /= nx;
+    apply_residual(a, h, w, x.data(), y.data(), tmp);
+    apply_residual_t(a, h, w, y.data(), x.data(), tmp);
+    // ||R||_2^2 ~ ||R^T R x|| after normalization.
+    norm = std::sqrt(nrm2(n, x.data()));
+  }
+  return norm;
+}
+
+ApproxQuality assess_approximation(const CscMatrix& a, const Matrix& h,
+                                   const Matrix& w,
+                                   const std::vector<double>& exact_sigma,
+                                   Index leading) {
+  ApproxQuality q;
+  q.rank = h.cols();
+  q.fro_error_abs = residual_fro(a, h, w);
+  const double anorm_f = a.frobenius_norm();
+  q.fro_error_rel = anorm_f > 0.0 ? q.fro_error_abs / anorm_f : 0.0;
+  q.spectral_error_abs = residual_spectral_norm(a, h, w);
+  const double anorm_2 = exact_sigma.empty() ? spectral_norm_estimate(a)
+                                             : exact_sigma.front();
+  q.spectral_error_rel =
+      anorm_2 > 0.0 ? q.spectral_error_abs / anorm_2 : 0.0;
+
+  if (!exact_sigma.empty() && q.rank > 0) {
+    // sigma_j(HW) from the small factor pair: HW = H W with H m x K. Use a
+    // QR of H to reduce to a K x n problem, then take singular values of
+    // R_h * W ... sigma(HW) = sigma(R_h W) since Q has orthonormal columns.
+    // For K moderate this is cheap.
+    const Index probe = std::min<Index>(leading, q.rank);
+    // Compact: G = (H^T H), C = G^{1/2}-free route: sigma(HW)^2 are the
+    // eigenvalues of W^T (H^T H) W; use jacobi on the K x n matrix R W via
+    // a QR-free Cholesky-style compression: small K makes jacobi on
+    // (K x n) W' = chol(G)^T W ... simplest robust: jacobi_svd of H gives
+    // H = U_h S_h V_h^T; sigma(HW) = sigma(S_h V_h^T W).
+    const SvdResult hs = jacobi_svd(h);
+    Matrix sw = hs.v.transposed();  // K x K
+    for (Index i = 0; i < sw.rows(); ++i)
+      for (Index j = 0; j < sw.cols(); ++j) sw(i, j) *= hs.sigma[i];
+    const Matrix small = matmul(sw, w);  // K x n
+    const SvdResult final_svd = jacobi_svd(small);
+    for (Index j = 0; j < probe && j < static_cast<Index>(final_svd.sigma.size());
+         ++j) {
+      const double exact = exact_sigma[static_cast<std::size_t>(j)];
+      q.sv_ratios.push_back(exact > 0.0 ? final_svd.sigma[j] / exact : 0.0);
+    }
+  }
+  return q;
+}
+
+}  // namespace lra

@@ -1,0 +1,42 @@
+#pragma once
+// Approximation-quality metrics: exact/estimated errors in both norms the
+// paper uses (Frobenius and spectral) and singular-value approximation
+// quality, computed without densifying A.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// Spectral norm of A by power iteration on A^T A (matrix-free).
+double spectral_norm_estimate(const CscMatrix& a, int iterations = 30,
+                              std::uint64_t seed = 0xabcd);
+
+/// Spectral norm of the residual A - H W by power iteration on the residual
+/// operator (never forms the residual).
+double residual_spectral_norm(const CscMatrix& a, const Matrix& h,
+                              const Matrix& w, int iterations = 30,
+                              std::uint64_t seed = 0xabcd);
+
+struct ApproxQuality {
+  double fro_error_abs = 0.0;
+  double fro_error_rel = 0.0;       // vs ||A||_F
+  double spectral_error_abs = 0.0;
+  double spectral_error_rel = 0.0;  // vs ||A||_2 (estimated)
+  Index rank = 0;
+  /// Ratios sigma_j(HW) / sigma_j(A) for the leading values, when the exact
+  /// spectrum is supplied; the paper's "effective approximation" diagnostic.
+  std::vector<double> sv_ratios;
+};
+
+/// Full quality report for a factorization A ~= H W. `exact_sigma` (optional)
+/// enables the singular-value ratio diagnostic; `leading` bounds how many
+/// ratios are computed.
+ApproxQuality assess_approximation(const CscMatrix& a, const Matrix& h,
+                                   const Matrix& w,
+                                   const std::vector<double>& exact_sigma = {},
+                                   Index leading = 10);
+
+}  // namespace lra

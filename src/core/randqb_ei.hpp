@@ -1,0 +1,53 @@
+#pragma once
+// Randomized QB factorization with efficient error indicator (RandQB_EI,
+// Yu/Gu/Li 2018; Algorithm 1 of the paper). Fixed-precision: iterates
+// k-column blocks until the exact Frobenius indicator (4) drops below
+// tau * ||A||_F.
+
+#include <cstdint>
+
+#include "core/termination.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// Which norm the fixed-precision criterion (1) is enforced in.
+enum class ErrorNorm {
+  kFrobenius,  // exact cheap indicator (4)
+  kSpectral,   // power-iteration estimate of ||A - Q B||_2 each iteration
+};
+
+struct RandQbOptions {
+  Index block_size = 32;  // k
+  double tau = 1e-3;
+  int power = 1;          // p in the power scheme (0..3)
+  Index max_rank = -1;    // -1: min(m, n)
+  std::uint64_t seed = 0x5eed;
+  bool record_trace = true;
+  ErrorNorm norm = ErrorNorm::kFrobenius;
+  int spectral_power_its = 12;  // power iterations per check (kSpectral)
+};
+
+struct RandQbResult {
+  Status status = Status::kMaxIterations;
+  Index rank = 0;
+  Index iterations = 0;
+  double anorm_f = 0.0;
+  double indicator = 0.0;  // E_rand at exit (absolute)
+
+  Matrix q;  // m x K, orthonormal columns
+  Matrix b;  // K x n
+
+  /// ||Q^T Q - I||_inf at exit — the orthogonality-loss diagnostic the paper
+  /// reports in Section VI-B.
+  double orth_loss = 0.0;
+
+  IterationTrace trace;
+};
+
+RandQbResult randqb_ei(const CscMatrix& a, const RandQbOptions& opts);
+
+/// Exact ||A - Q B||_F (dense verification for tests/small problems).
+double randqb_exact_error(const CscMatrix& a, const RandQbResult& r);
+
+}  // namespace lra

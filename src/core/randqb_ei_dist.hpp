@@ -1,0 +1,29 @@
+#pragma once
+// Distributed-memory RandQB_EI on the virtual-time runtime (Section V of the
+// paper; the original uses Elemental + MPI). Data layout: A and Q_K are
+// 1D row-distributed, B_K is column-distributed; orthonormalization uses the
+// allgather-TSQR scheme (local QR, allgather of the k x k R factors,
+// redundant small QR, local Q update) — the standard communication-avoiding
+// tall-skinny QR for this layout.
+
+#include <map>
+#include <string>
+
+#include "core/randqb_ei.hpp"
+#include "par/simcomm.hpp"
+
+namespace lra {
+
+struct DistRandQbResult {
+  RandQbResult result;            // factors assembled on return
+  double virtual_seconds = 0.0;   // max over ranks of the final clock
+  std::map<std::string, double> kernel_seconds;  // max over ranks
+  std::vector<double> iter_vseconds;   // cumulative virtual time per iteration
+  std::vector<double> iter_indicator;  // relative error indicator per iteration
+  std::vector<Index> iter_rank;        // K after each iteration
+};
+
+DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
+                                int nranks, CostModel cm = {});
+
+}  // namespace lra

@@ -1,0 +1,29 @@
+#pragma once
+// Distributed-memory RandUBV — the paper's explicitly stated future work
+// ("these experiments motivate the development of an efficient parallel
+// implementation of RandUBV", Section VI-B). Layout mirrors the distributed
+// RandQB_EI: A and U are 1D row-distributed over m, V is row-distributed
+// over n; every orthonormalization is an allgather-TSQR; the block products
+// A V and A^T U are local SpMMs followed by an allreduce.
+
+#include <map>
+#include <string>
+
+#include "core/randubv.hpp"
+#include "par/simcomm.hpp"
+
+namespace lra {
+
+struct DistRandUbvResult {
+  RandUbvResult result;           // factors assembled on return
+  double virtual_seconds = 0.0;   // max over ranks of the final clock
+  std::map<std::string, double> kernel_seconds;  // max over ranks
+  std::vector<double> iter_vseconds;   // cumulative virtual time per iteration
+  std::vector<double> iter_indicator;  // relative indicator per iteration
+  std::vector<Index> iter_rank;
+};
+
+DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
+                               int nranks, CostModel cm = {});
+
+}  // namespace lra

@@ -1,0 +1,186 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace lra {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'R', 'A', 'F', 'A', 'C', 'T', '1'};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : os_(path, std::ios::binary) {
+    if (!os_) throw std::runtime_error("cannot open " + path);
+    os_.write(kMagic, sizeof(kMagic));
+  }
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    os_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod<std::uint64_t>(v.size());
+    os_.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+  void tag(char c) { pod(c); }
+  void matrix(const Matrix& m) {
+    pod<std::int64_t>(m.rows());
+    pod<std::int64_t>(m.cols());
+    os_.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(double)));
+  }
+  void csc(const CscMatrix& a) {
+    pod<std::int64_t>(a.rows());
+    pod<std::int64_t>(a.cols());
+    vec(a.colptr());
+    vec(a.rowind());
+    vec(a.values());
+  }
+  void check() {
+    if (!os_) throw std::runtime_error("write failed");
+  }
+
+ private:
+  std::ofstream os_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : is_(path, std::ios::binary) {
+    if (!is_) throw std::runtime_error("cannot open " + path);
+    char magic[8];
+    is_.read(magic, sizeof(magic));
+    if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+      throw std::runtime_error(path + ": not an lra factorization file");
+  }
+  template <typename T>
+  T pod() {
+    T v;
+    is_.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!is_) throw std::runtime_error("truncated factorization file");
+    return v;
+  }
+  template <typename T>
+  std::vector<T> vec() {
+    const auto n = pod<std::uint64_t>();
+    std::vector<T> v(n);
+    is_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    if (!is_) throw std::runtime_error("truncated factorization file");
+    return v;
+  }
+  Matrix matrix() {
+    const auto rows = pod<std::int64_t>();
+    const auto cols = pod<std::int64_t>();
+    Matrix m(rows, cols);
+    is_.read(reinterpret_cast<char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(double)));
+    if (!is_) throw std::runtime_error("truncated factorization file");
+    return m;
+  }
+  CscMatrix csc() {
+    const auto rows = pod<std::int64_t>();
+    const auto cols = pod<std::int64_t>();
+    auto colptr = vec<Index>();
+    auto rowind = vec<Index>();
+    auto values = vec<double>();
+    return CscMatrix(rows, cols, std::move(colptr), std::move(rowind),
+                     std::move(values));
+  }
+
+ private:
+  std::ifstream is_;
+};
+
+}  // namespace
+
+void save_factorization(const std::string& path, const LuCrtpResult& r) {
+  Writer w(path);
+  w.tag('L');
+  w.pod<std::int32_t>(static_cast<std::int32_t>(r.status));
+  w.pod<std::int64_t>(r.rank);
+  w.pod<std::int64_t>(r.iterations);
+  w.pod(r.anorm_f);
+  w.pod(r.indicator);
+  w.pod(r.mu);
+  w.csc(r.l);
+  w.csc(r.u);
+  w.vec(r.row_perm);
+  w.vec(r.col_perm);
+  w.check();
+}
+
+void save_factorization(const std::string& path, const RandQbResult& r) {
+  Writer w(path);
+  w.tag('Q');
+  w.pod<std::int32_t>(static_cast<std::int32_t>(r.status));
+  w.pod<std::int64_t>(r.rank);
+  w.pod<std::int64_t>(r.iterations);
+  w.pod(r.anorm_f);
+  w.pod(r.indicator);
+  w.matrix(r.q);
+  w.matrix(r.b);
+  w.check();
+}
+
+std::string stored_factorization_kind(const std::string& path) {
+  Reader r(path);
+  const char tag = r.pod<char>();
+  if (tag == 'L') return "lu";
+  if (tag == 'Q') return "qb";
+  throw std::runtime_error(path + ": unknown factorization kind");
+}
+
+LuCrtpResult load_lu_factorization(const std::string& path) {
+  Reader rd(path);
+  if (rd.pod<char>() != 'L')
+    throw std::runtime_error(path + ": not an LU factorization");
+  LuCrtpResult r;
+  r.status = static_cast<Status>(rd.pod<std::int32_t>());
+  r.rank = rd.pod<std::int64_t>();
+  r.iterations = rd.pod<std::int64_t>();
+  r.anorm_f = rd.pod<double>();
+  r.indicator = rd.pod<double>();
+  r.mu = rd.pod<double>();
+  r.l = rd.csc();
+  r.u = rd.csc();
+  r.row_perm = rd.vec<Index>();
+  r.col_perm = rd.vec<Index>();
+  return r;
+}
+
+RandQbResult load_qb_factorization(const std::string& path) {
+  Reader rd(path);
+  if (rd.pod<char>() != 'Q')
+    throw std::runtime_error(path + ": not a QB factorization");
+  RandQbResult r;
+  r.status = static_cast<Status>(rd.pod<std::int32_t>());
+  r.rank = rd.pod<std::int64_t>();
+  r.iterations = rd.pod<std::int64_t>();
+  r.anorm_f = rd.pod<double>();
+  r.indicator = rd.pod<double>();
+  r.q = rd.matrix();
+  r.b = rd.matrix();
+  return r;
+}
+
+void save_csc(const std::string& path, const CscMatrix& a) {
+  Writer w(path);
+  w.tag('S');
+  w.csc(a);
+  w.check();
+}
+
+CscMatrix load_csc(const std::string& path) {
+  Reader rd(path);
+  if (rd.pod<char>() != 'S')
+    throw std::runtime_error(path + ": not a sparse matrix file");
+  return rd.csc();
+}
+
+}  // namespace lra

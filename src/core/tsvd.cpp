@@ -1,0 +1,40 @@
+#include "core/tsvd.hpp"
+
+#include <algorithm>
+
+#include "dense/blas.hpp"
+#include "dense/svd.hpp"
+#include "sparse/ops.hpp"
+
+namespace lra {
+
+std::vector<double> sparse_singular_values(const CscMatrix& a) {
+  return singular_values(a.to_dense());
+}
+
+Index tsvd_min_rank(const CscMatrix& a, double tau) {
+  return min_rank_for_tolerance(sparse_singular_values(a), tau);
+}
+
+SvdResult tsvd(const CscMatrix& a, Index k) {
+  SvdResult full = jacobi_svd(a.to_dense());
+  const Index kk = std::min<Index>(k, static_cast<Index>(full.sigma.size()));
+  SvdResult out;
+  out.u = full.u.block(0, 0, full.u.rows(), kk);
+  out.v = full.v.block(0, 0, full.v.rows(), kk);
+  out.sigma.assign(full.sigma.begin(), full.sigma.begin() + kk);
+  return out;
+}
+
+double tsvd_error(const CscMatrix& a, const SvdResult& svd, Index k) {
+  const Index kk = std::min<Index>(k, static_cast<Index>(svd.sigma.size()));
+  Matrix h = svd.u.block(0, 0, svd.u.rows(), kk);
+  for (Index j = 0; j < kk; ++j) {
+    double* c = h.col(j);
+    for (Index i = 0; i < h.rows(); ++i) c[i] *= svd.sigma[j];
+  }
+  const Matrix w = svd.v.block(0, 0, svd.v.rows(), kk).transposed();
+  return residual_fro(a, h, w);
+}
+
+}  // namespace lra

@@ -1,0 +1,29 @@
+#pragma once
+// Truncated SVD baseline (the Eckart-Young optimum the paper compares
+// against for the "minimum rank required" curves in Figs. 2-3). Practical
+// only for small/medium matrices — exactly as in the paper, where the TSVD
+// was too expensive to evaluate for the largest problems.
+
+#include <vector>
+
+#include "core/termination.hpp"
+#include "dense/jacobi_svd.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// All singular values of a sparse matrix (densifies; use on small inputs).
+std::vector<double> sparse_singular_values(const CscMatrix& a);
+
+/// Minimum rank K such that the rank-K TSVD satisfies the fixed-precision
+/// criterion (1) in the Frobenius norm.
+Index tsvd_min_rank(const CscMatrix& a, double tau);
+
+/// Rank-k truncated SVD factors (via one-sided Jacobi on the densified
+/// matrix): returns U_k, sigma_k, V_k.
+SvdResult tsvd(const CscMatrix& a, Index k);
+
+/// ||A - U_k diag(s_k) V_k^T||_F for a truncation of the given SVD.
+double tsvd_error(const CscMatrix& a, const SvdResult& svd, Index k);
+
+}  // namespace lra

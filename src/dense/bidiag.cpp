@@ -1,0 +1,79 @@
+#include "dense/bidiag.hpp"
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+
+namespace lra {
+namespace {
+
+// Householder reflector as in qr.cpp; v stored in x(1:), x[0] = beta.
+double make_reflector(Index n, double* x, double& tau) {
+  if (n <= 1) {
+    tau = 0.0;
+    return n == 1 ? x[0] : 0.0;
+  }
+  const double alpha = x[0];
+  const double xnorm = nrm2(n - 1, x + 1);
+  if (xnorm == 0.0) {
+    tau = 0.0;
+    return alpha;
+  }
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (Index i = 1; i < n; ++i) x[i] *= inv;
+  return beta;
+}
+
+}  // namespace
+
+Bidiagonal bidiagonalize(const Matrix& a_in) {
+  Matrix a = a_in.rows() >= a_in.cols() ? a_in : a_in.transposed();
+  const Index m = a.rows(), n = a.cols();
+  Bidiagonal bd;
+  bd.d.assign(static_cast<std::size_t>(n), 0.0);
+  if (n > 1) bd.e.assign(static_cast<std::size_t>(n - 1), 0.0);
+
+  std::vector<double> rowbuf(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    // Left reflector annihilates A(k+1:m, k).
+    double tau = 0.0;
+    double* ck = a.col(k) + k;
+    const double beta = make_reflector(m - k, ck, tau);
+    if (tau != 0.0) {
+      for (Index j = k + 1; j < n; ++j) {
+        double* cj = a.col(j) + k;
+        double s = cj[0];
+        for (Index i = 1; i < m - k; ++i) s += ck[i] * cj[i];
+        s *= tau;
+        cj[0] -= s;
+        for (Index i = 1; i < m - k; ++i) cj[i] -= s * ck[i];
+      }
+    }
+    bd.d[k] = beta;
+
+    if (k >= n - 1) continue;
+    // Right reflector annihilates A(k, k+2:n) (acts on row k).
+    const Index len = n - k - 1;
+    for (Index j = 0; j < len; ++j) rowbuf[j] = a(k, k + 1 + j);
+    double tau_r = 0.0;
+    const double beta_r = make_reflector(len, rowbuf.data(), tau_r);
+    if (tau_r != 0.0) {
+      // Apply (I - tau v v^T) from the right to rows k+1:m.
+      for (Index i = k + 1; i < m; ++i) {
+        double s = a(i, k + 1);
+        for (Index j = 1; j < len; ++j) s += rowbuf[j] * a(i, k + 1 + j);
+        s *= tau_r;
+        a(i, k + 1) -= s;
+        for (Index j = 1; j < len; ++j) a(i, k + 1 + j) -= s * rowbuf[j];
+      }
+    }
+    bd.e[k] = beta_r;
+    a(k, k + 1) = beta_r;
+    for (Index j = 1; j < len; ++j) a(k, k + 1 + j) = 0.0;
+  }
+  return bd;
+}
+
+}  // namespace lra

@@ -1,0 +1,20 @@
+#pragma once
+// Golub-Kahan Householder bidiagonalization: A = U B V^T with B upper
+// bidiagonal. Values-only (the SVD driver needs only d and e).
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+struct Bidiagonal {
+  std::vector<double> d;  // diagonal, length min(m, n)
+  std::vector<double> e;  // superdiagonal, length max(0, min(m, n) - 1)
+};
+
+/// Reduce `a` to upper bidiagonal form (the input is copied; m < n is handled
+/// by transposing, which leaves the singular values unchanged).
+Bidiagonal bidiagonalize(const Matrix& a);
+
+}  // namespace lra

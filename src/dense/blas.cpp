@@ -1,0 +1,175 @@
+#include "dense/blas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#ifdef LRA_OPENMP
+#include <omp.h>
+#endif
+
+namespace lra {
+namespace {
+
+// Panel sizes chosen so one (MC x KC) block of A fits comfortably in L2.
+constexpr Index kMc = 256;
+constexpr Index kKc = 256;
+
+// C(mxn) += A(mxk) * B(kxn), all column-major, no transposes.
+void gemm_nn_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  for (Index k0 = 0; k0 < k; k0 += kKc) {
+    const Index k1 = std::min(k0 + kKc, k);
+    for (Index i0 = 0; i0 < m; i0 += kMc) {
+      const Index i1 = std::min(i0 + kMc, m);
+      // Columns of C are independent: safe to split across threads.
+#ifdef LRA_OPENMP
+#pragma omp parallel for schedule(static) if (n > 8 && m * k > 1 << 16)
+#endif
+      for (Index j = 0; j < n; ++j) {
+        double* cj = c.col(j);
+        const double* bj = b.col(j);
+        for (Index p = k0; p < k1; ++p) {
+          const double w = alpha * bj[p];
+          if (w == 0.0) continue;
+          const double* ap = a.col(p);
+          for (Index i = i0; i < i1; ++i) cj[i] += w * ap[i];
+        }
+      }
+    }
+  }
+}
+
+// C(mxn) += A^T(mxk as k x m stored) * B(kxn): A is (k x m), result row i of C
+// is dot of A column i with B column j -> use dot products (contiguous).
+void gemm_tn_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  const Index m = a.cols(), k = a.rows(), n = b.cols();
+  for (Index j = 0; j < n; ++j) {
+    const double* bj = b.col(j);
+    double* cj = c.col(j);
+    for (Index i = 0; i < m; ++i) {
+      cj[i] += alpha * dot(k, a.col(i), bj);
+    }
+  }
+}
+
+// C(mxn) += A(mxk) * B^T (B is n x k).
+void gemm_nt_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  const Index m = a.rows(), k = a.cols(), n = b.rows();
+  for (Index p = 0; p < k; ++p) {
+    const double* ap = a.col(p);
+    const double* bp = b.col(p);
+    for (Index j = 0; j < n; ++j) {
+      const double w = alpha * bp[j];
+      if (w == 0.0) continue;
+      double* cj = c.col(j);
+      for (Index i = 0; i < m; ++i) cj[i] += w * ap[i];
+    }
+  }
+}
+
+// C(mxn) += A^T(k x m) * B^T(n x k): C = (B*A)^T; fall back to explicit loop.
+void gemm_tt_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  const Index m = a.cols(), n = b.rows(), k = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    for (Index p = 0; p < k; ++p) {
+      const double w = alpha * b(j, p);
+      if (w == 0.0) continue;
+      for (Index i = 0; i < m; ++i) cj[i] += w * a(p, i);
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Matrix& c, const Matrix& a, const Matrix& b, double alpha,
+          double beta, Trans ta, Trans tb) {
+  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Index ka = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const Index kb = (tb == Trans::kNo) ? b.rows() : b.cols();
+  const Index n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  assert(ka == kb);
+  (void)kb;
+  assert(c.rows() == m && c.cols() == n);
+  (void)m;
+  (void)n;
+
+  if (beta == 0.0) {
+    for (Index j = 0; j < c.cols(); ++j) {
+      double* cj = c.col(j);
+      for (Index i = 0; i < c.rows(); ++i) cj[i] = 0.0;
+    }
+  } else if (beta != 1.0) {
+    c.scale(beta);
+  }
+  if (alpha == 0.0 || ka == 0) return;
+
+  if (ta == Trans::kNo && tb == Trans::kNo) gemm_nn_accum(c, a, b, alpha);
+  else if (ta == Trans::kYes && tb == Trans::kNo) gemm_tn_accum(c, a, b, alpha);
+  else if (ta == Trans::kNo && tb == Trans::kYes) gemm_nt_accum(c, a, b, alpha);
+  else gemm_tt_accum(c, a, b, alpha);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(c, a, b);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  gemm(c, a, b, 1.0, 0.0, Trans::kYes, Trans::kNo);
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  gemm(c, a, b, 1.0, 0.0, Trans::kNo, Trans::kYes);
+  return c;
+}
+
+void gemv(double* y, const Matrix& a, const double* x, double alpha,
+          double beta, Trans ta) {
+  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  if (beta == 0.0) {
+    for (Index i = 0; i < m; ++i) y[i] = 0.0;
+  } else if (beta != 1.0) {
+    for (Index i = 0; i < m; ++i) y[i] *= beta;
+  }
+  if (ta == Trans::kNo) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      const double w = alpha * x[j];
+      if (w == 0.0) continue;
+      axpy(a.rows(), w, a.col(j), y);
+    }
+  } else {
+    for (Index j = 0; j < a.cols(); ++j)
+      y[j] += alpha * dot(a.rows(), a.col(j), x);
+  }
+}
+
+void axpy(Index n, double alpha, const double* x, double* y) noexcept {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double nrm2(Index n, const double* x) noexcept {
+  // Two-pass scaled norm to avoid overflow/underflow on extreme inputs.
+  double mx = 0.0;
+  for (Index i = 0; i < n; ++i) mx = std::max(mx, std::fabs(x[i]));
+  if (mx == 0.0) return 0.0;
+  double s = 0.0;
+  const double inv = 1.0 / mx;
+  for (Index i = 0; i < n; ++i) {
+    const double v = x[i] * inv;
+    s += v * v;
+  }
+  return mx * std::sqrt(s);
+}
+
+double dot(Index n, const double* x, const double* y) noexcept {
+  double s = 0.0;
+  for (Index i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+}  // namespace lra

@@ -1,0 +1,34 @@
+#pragma once
+// BLAS-like dense kernels on column-major Matrix. Hand-written (no external
+// BLAS in this environment); the GEMM uses a cache-blocked j-k-i loop order
+// whose inner loop is a contiguous axpy the compiler vectorizes.
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C. Shapes must conform; C must already
+/// have the result shape.
+void gemm(Matrix& c, const Matrix& a, const Matrix& b, double alpha = 1.0,
+          double beta = 0.0, Trans ta = Trans::kNo, Trans tb = Trans::kNo);
+
+/// Convenience wrappers returning a fresh matrix.
+Matrix matmul(const Matrix& a, const Matrix& b);      // A * B
+Matrix matmul_tn(const Matrix& a, const Matrix& b);   // A^T * B
+Matrix matmul_nt(const Matrix& a, const Matrix& b);   // A * B^T
+
+/// y = alpha * op(A) * x + beta * y (x, y are n x 1 / m x 1 matrices stored
+/// as raw vectors).
+void gemv(double* y, const Matrix& a, const double* x, double alpha = 1.0,
+          double beta = 0.0, Trans ta = Trans::kNo);
+
+/// axpy on raw ranges: y += alpha * x.
+void axpy(Index n, double alpha, const double* x, double* y) noexcept;
+
+/// Euclidean norm / dot product of raw ranges.
+double nrm2(Index n, const double* x) noexcept;
+double dot(Index n, const double* x, const double* y) noexcept;
+
+}  // namespace lra

@@ -1,0 +1,151 @@
+#include "dense/blocked_qr.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dense/blas.hpp"
+
+namespace lra {
+namespace {
+
+double make_reflector(Index n, double* x, double& tau) {
+  if (n <= 1) {
+    tau = 0.0;
+    return n == 1 ? x[0] : 0.0;
+  }
+  const double alpha = x[0];
+  const double xnorm = nrm2(n - 1, x + 1);
+  if (xnorm == 0.0) {
+    tau = 0.0;
+    return alpha;
+  }
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  tau = (beta - alpha) / beta;
+  const double inv = 1.0 / (alpha - beta);
+  for (Index i = 1; i < n; ++i) x[i] *= inv;
+  return beta;
+}
+
+// Build the upper-triangular T of the compact-WY representation
+// Q = I - V T V^T for the nb reflectors stored in columns [j0, j0+nb) of qr
+// (v_i has an implicit unit at row j0 + i).
+Matrix build_t(const Matrix& qr, const std::vector<double>& tau, Index j0,
+               Index nb) {
+  const Index m = qr.rows();
+  Matrix t(nb, nb);
+  for (Index i = 0; i < nb; ++i) {
+    t(i, i) = tau[j0 + i];
+    if (tau[j0 + i] == 0.0) continue;
+    // t(0:i, i) = -tau_i * T(0:i, 0:i) * (V(:, 0:i)^T v_i)
+    std::vector<double> w(static_cast<std::size_t>(i), 0.0);
+    for (Index c = 0; c < i; ++c) {
+      // dot of column c of V with v_i over rows (j0+i .. m): v_i implicit 1
+      // at j0+i; V(:, c) has implicit 1 at j0+c and zeros above.
+      double s = qr(j0 + i, j0 + c);  // V(j0+i, c) * v_i(j0+i)=1
+      for (Index r = j0 + i + 1; r < m; ++r) s += qr(r, j0 + c) * qr(r, j0 + i);
+      w[c] = s;
+    }
+    for (Index r = 0; r < i; ++r) {
+      double s = 0.0;
+      for (Index c = r; c < i; ++c) s += t(r, c) * w[c];
+      t(r, i) = -tau[j0 + i] * s;
+    }
+  }
+  return t;
+}
+
+// Apply (I - V T V^T)^H to C(j0:m, cols...) from the left:
+// C := C - V T^T (V^T C)  (for Q^T) or C - V T (V^T C) (for Q).
+void apply_block(const Matrix& qr, const Matrix& t, Index j0, Index nb,
+                 Matrix& c, Index c0, Index c1, bool transpose) {
+  const Index m = qr.rows();
+  const Index ncols = c1 - c0;
+  if (ncols <= 0) return;
+  // W = V^T * C(j0:m, c0:c1)   (nb x ncols)
+  Matrix w(nb, ncols);
+  for (Index jc = 0; jc < ncols; ++jc) {
+    const double* cc = c.col(c0 + jc);
+    for (Index v = 0; v < nb; ++v) {
+      double s = cc[j0 + v];  // implicit unit
+      for (Index r = j0 + v + 1; r < m; ++r) s += qr(r, j0 + v) * cc[r];
+      w(v, jc) = s;
+    }
+  }
+  // W := T^T W or T W
+  Matrix tw(nb, ncols);
+  gemm(tw, t, w, 1.0, 0.0, transpose ? Trans::kYes : Trans::kNo, Trans::kNo);
+  // C := C - V * TW
+  for (Index jc = 0; jc < ncols; ++jc) {
+    double* cc = c.col(c0 + jc);
+    for (Index v = 0; v < nb; ++v) {
+      const double wv = tw(v, jc);
+      if (wv == 0.0) continue;
+      cc[j0 + v] -= wv;
+      for (Index r = j0 + v + 1; r < m; ++r) cc[r] -= qr(r, j0 + v) * wv;
+    }
+  }
+}
+
+}  // namespace
+
+BlockedQR::BlockedQR(Matrix a, Index block) : qr_(std::move(a)), block_(block) {
+  const Index m = qr_.rows(), n = qr_.cols();
+  const Index kmax = std::min(m, n);
+  tau_.assign(static_cast<std::size_t>(kmax), 0.0);
+
+  for (Index j0 = 0; j0 < kmax; j0 += block_) {
+    const Index nb = std::min(block_, kmax - j0);
+    // Unblocked factorization of the panel, updating only within the panel.
+    for (Index j = j0; j < j0 + nb; ++j) {
+      double* cj = qr_.col(j) + j;
+      const double beta = make_reflector(m - j, cj, tau_[j]);
+      if (tau_[j] != 0.0) {
+        for (Index c = j + 1; c < j0 + nb; ++c) {
+          double* cc = qr_.col(c) + j;
+          double s = cc[0];
+          for (Index i = 1; i < m - j; ++i) s += cj[i] * cc[i];
+          s *= tau_[j];
+          cc[0] -= s;
+          for (Index i = 1; i < m - j; ++i) cc[i] -= s * cj[i];
+        }
+      }
+      qr_(j, j) = beta;
+    }
+    // Blocked trailing update with the compact-WY form.
+    if (j0 + nb < n) {
+      const Matrix t = build_t(qr_, tau_, j0, nb);
+      apply_block(qr_, t, j0, nb, qr_, j0 + nb, n, /*transpose=*/true);
+    }
+  }
+}
+
+Matrix BlockedQR::thin_q() const {
+  const Index m = qr_.rows();
+  const Index k = std::min(m, qr_.cols());
+  Matrix q(m, k);
+  for (Index j = 0; j < k; ++j) q(j, j) = 1.0;
+  // Apply panels back to front: Q = (I - V1 T1 V1^T) ... (I - Vp Tp Vp^T) I.
+  Index first_panel = ((k - 1) / block_) * block_;
+  for (Index j0 = first_panel; j0 >= 0; j0 -= block_) {
+    const Index nb = std::min(block_, k - j0);
+    const Matrix t = build_t(qr_, tau_, j0, nb);
+    apply_block(qr_, t, j0, nb, q, 0, k, /*transpose=*/false);
+    if (j0 == 0) break;
+  }
+  return q;
+}
+
+Matrix BlockedQR::r() const {
+  const Index k = std::min(qr_.rows(), qr_.cols());
+  Matrix r(k, qr_.cols());
+  for (Index j = 0; j < qr_.cols(); ++j)
+    for (Index i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Matrix orth_blocked(const Matrix& a, Index block) {
+  if (a.empty()) return Matrix(a.rows(), 0);
+  return BlockedQR(a, block).thin_q();
+}
+
+}  // namespace lra

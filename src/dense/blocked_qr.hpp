@@ -1,0 +1,32 @@
+#pragma once
+// Blocked Householder QR with compact-WY accumulation (LAPACK dgeqrt style):
+// reflectors are aggregated into panels of `nb` and applied to the trailing
+// matrix as rank-nb updates (I - V T V^T), turning the BLAS-2 update of the
+// unblocked factorization into GEMM-rich BLAS-3. Produces identical R (up to
+// sign conventions) to HouseholderQR; used where the panel is wide enough
+// for blocking to pay (RandQB_EI orthonormalizations with large k).
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+class BlockedQR {
+ public:
+  explicit BlockedQR(Matrix a, Index block = 32);
+
+  Index rows() const { return qr_.rows(); }
+  Index cols() const { return qr_.cols(); }
+
+  Matrix thin_q() const;
+  Matrix r() const;
+
+ private:
+  Matrix qr_;  // reflectors below the diagonal, R on/above
+  std::vector<double> tau_;
+  Index block_;
+};
+
+/// orth() built on the blocked factorization.
+Matrix orth_blocked(const Matrix& a, Index block = 32);
+
+}  // namespace lra

@@ -1,0 +1,83 @@
+#include "dense/jacobi_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dense/blas.hpp"
+
+namespace lra {
+
+SvdResult jacobi_svd(const Matrix& a_in, double tol, int max_sweeps) {
+  const bool transposed = a_in.rows() < a_in.cols();
+  Matrix w = transposed ? a_in.transposed() : a_in;
+  const Index m = w.rows(), n = w.cols();
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        double* wp = w.col(p);
+        double* wq = w.col(q);
+        const double alpha = dot(m, wp, wp);
+        const double beta = dot(m, wq, wq);
+        const double gamma = dot(m, wp, wq);
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) || gamma == 0.0)
+          continue;
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            std::copysign(1.0, zeta) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (Index i = 0; i < m; ++i) {
+          const double wpi = wp[i];
+          wp[i] = c * wpi - s * wq[i];
+          wq[i] = s * wpi + c * wq[i];
+        }
+        double* vp = v.col(p);
+        double* vq = v.col(q);
+        for (Index i = 0; i < n; ++i) {
+          const double vpi = vp[i];
+          vp[i] = c * vpi - s * vq[i];
+          vq[i] = s * vpi + c * vq[i];
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  SvdResult out;
+  out.sigma.resize(static_cast<std::size_t>(n));
+  out.u = Matrix(m, n);
+  for (Index j = 0; j < n; ++j) {
+    const double nj = nrm2(m, w.col(j));
+    out.sigma[j] = nj;
+    if (nj > 0.0) {
+      const double inv = 1.0 / nj;
+      for (Index i = 0; i < m; ++i) out.u(i, j) = w(i, j) * inv;
+    }
+  }
+
+  // Sort descending by singular value.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return out.sigma[x] > out.sigma[y];
+  });
+  SvdResult sorted;
+  sorted.sigma.resize(static_cast<std::size_t>(n));
+  sorted.u = Matrix(m, n);
+  sorted.v = Matrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    sorted.sigma[j] = out.sigma[order[j]];
+    for (Index i = 0; i < m; ++i) sorted.u(i, j) = out.u(i, order[j]);
+    for (Index i = 0; i < n; ++i) sorted.v(i, j) = v(i, order[j]);
+  }
+  if (transposed) std::swap(sorted.u, sorted.v);
+  return sorted;
+}
+
+}  // namespace lra

@@ -1,0 +1,21 @@
+#pragma once
+// One-sided Jacobi SVD with full singular vectors. Slow (O(m n^2) per sweep)
+// but simple and very accurate; used as the reference decomposition for small
+// problems and for cross-validating the bidiagonal-QL driver.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+struct SvdResult {
+  Matrix u;                   // m x min(m, n)
+  std::vector<double> sigma;  // descending
+  Matrix v;                   // n x min(m, n)
+};
+
+/// Full (thin) SVD of `a`: a = U diag(sigma) V^T.
+SvdResult jacobi_svd(const Matrix& a, double tol = 1e-14, int max_sweeps = 60);
+
+}  // namespace lra

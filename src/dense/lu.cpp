@@ -1,0 +1,116 @@
+#include "dense/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lra {
+
+PartialPivLU::PartialPivLU(Matrix a) : lu_(std::move(a)) {
+  const Index n = lu_.rows();
+  assert(lu_.cols() == n);
+  piv_.resize(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    Index p = k;
+    for (Index i = k + 1; i < n; ++i)
+      if (std::fabs(lu_(i, k)) > std::fabs(lu_(p, k))) p = i;
+    piv_[k] = p;
+    if (p != k)
+      for (Index j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+    const double pivot = lu_(k, k);
+    if (pivot == 0.0) {
+      singular_ = true;
+      continue;
+    }
+    const double inv = 1.0 / pivot;
+    for (Index i = k + 1; i < n; ++i) lu_(i, k) *= inv;
+    for (Index j = k + 1; j < n; ++j) {
+      const double w = lu_(k, j);
+      if (w == 0.0) continue;
+      double* cj = lu_.col(j);
+      const double* ck = lu_.col(k);
+      for (Index i = k + 1; i < n; ++i) cj[i] -= ck[i] * w;
+    }
+  }
+}
+
+Matrix PartialPivLU::solve(const Matrix& b) const {
+  const Index n = lu_.rows();
+  assert(b.rows() == n);
+  Matrix x = b;
+  for (Index j = 0; j < x.cols(); ++j) {
+    double* c = x.col(j);
+    for (Index k = 0; k < n; ++k)
+      if (piv_[k] != k) std::swap(c[k], c[piv_[k]]);
+    // Forward: L y = Pb (unit lower).
+    for (Index k = 0; k < n; ++k) {
+      const double w = c[k];
+      if (w == 0.0) continue;
+      const double* ck = lu_.col(k);
+      for (Index i = k + 1; i < n; ++i) c[i] -= ck[i] * w;
+    }
+    // Backward: U x = y.
+    for (Index k = n - 1; k >= 0; --k) {
+      c[k] /= lu_(k, k);
+      const double w = c[k];
+      const double* ck = lu_.col(k);
+      for (Index i = 0; i < k; ++i) c[i] -= ck[i] * w;
+    }
+  }
+  return x;
+}
+
+Matrix PartialPivLU::solve_transpose(const Matrix& b) const {
+  const Index n = lu_.rows();
+  assert(b.rows() == n);
+  Matrix x = b;
+  for (Index j = 0; j < x.cols(); ++j) {
+    double* c = x.col(j);
+    // U^T y = b (lower-triangular forward solve along columns of U).
+    for (Index k = 0; k < n; ++k) {
+      double s = c[k];
+      for (Index i = 0; i < k; ++i) s -= lu_(i, k) * c[i];
+      c[k] = s / lu_(k, k);
+    }
+    // L^T z = y (unit upper-triangular backward solve).
+    for (Index k = n - 1; k >= 0; --k) {
+      double s = c[k];
+      for (Index i = k + 1; i < n; ++i) s -= lu_(i, k) * c[i];
+      c[k] = s;
+    }
+    // x = P^T z.
+    for (Index k = n - 1; k >= 0; --k)
+      if (piv_[k] != k) std::swap(c[k], c[piv_[k]]);
+  }
+  return x;
+}
+
+void PartialPivLU::solve_row_inplace(double* b) const {
+  // Solves x^T A = b^T, i.e. A^T x = b.
+  const Index n = lu_.rows();
+  for (Index k = 0; k < n; ++k) {
+    double s = b[k];
+    for (Index i = 0; i < k; ++i) s -= lu_(i, k) * b[i];
+    b[k] = s / lu_(k, k);
+  }
+  for (Index k = n - 1; k >= 0; --k) {
+    double s = b[k];
+    for (Index i = k + 1; i < n; ++i) s -= lu_(i, k) * b[i];
+    b[k] = s;
+  }
+  for (Index k = n - 1; k >= 0; --k)
+    if (piv_[k] != k) std::swap(b[k], b[piv_[k]]);
+}
+
+double PartialPivLU::rcond_estimate() const {
+  const Index n = lu_.rows();
+  if (n == 0) return 1.0;
+  double mn = std::fabs(lu_(0, 0)), mx = mn;
+  for (Index i = 1; i < n; ++i) {
+    const double d = std::fabs(lu_(i, i));
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+  }
+  return mx == 0.0 ? 0.0 : mn / mx;
+}
+
+}  // namespace lra

@@ -1,0 +1,33 @@
+#pragma once
+// Dense LU with partial pivoting. Used for the k x k pivot block solves
+// (A21 * A11^{-1}) inside LU_CRTP and for verification in tests.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+class PartialPivLU {
+ public:
+  explicit PartialPivLU(Matrix a);
+
+  /// Solve A X = B.
+  Matrix solve(const Matrix& b) const;
+  /// Solve A^T X = B.
+  Matrix solve_transpose(const Matrix& b) const;
+  /// Solve x^T A = b^T for a single row vector (length n), in place.
+  void solve_row_inplace(double* b) const;
+
+  /// min |U(i,i)| / max |U(i,i)| — crude singularity signal.
+  double rcond_estimate() const;
+
+  bool singular() const { return singular_; }
+
+ private:
+  Matrix lu_;
+  std::vector<Index> piv_;
+  bool singular_ = false;
+};
+
+}  // namespace lra

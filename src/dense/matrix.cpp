@@ -1,0 +1,105 @@
+#include "dense/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "support/rng.hpp"
+
+namespace lra {
+
+Matrix::Matrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  assert(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::identity(Index n) {
+  Matrix a(n, n);
+  for (Index i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+Matrix Matrix::gaussian(Index rows, Index cols, std::uint64_t seed,
+                        std::uint64_t stream) {
+  Matrix a(rows, cols);
+  CounterRng rng(seed, stream);
+  for (double& v : a.data_) v = rng.gaussian();
+  return a;
+}
+
+Matrix Matrix::block(Index r0, Index c0, Index nr, Index nc) const {
+  assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (Index j = 0; j < nc; ++j)
+    std::memcpy(b.col(j), col(c0 + j) + r0,
+                static_cast<std::size_t>(nr) * sizeof(double));
+  return b;
+}
+
+void Matrix::set_block(Index r0, Index c0, const Matrix& b) {
+  assert(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_);
+  for (Index j = 0; j < b.cols(); ++j)
+    std::memcpy(col(c0 + j) + r0, b.col(j),
+                static_cast<std::size_t>(b.rows()) * sizeof(double));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (Index j = 0; j < cols_; ++j)
+    for (Index i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void Matrix::append_cols(const Matrix& b) {
+  if (empty() && rows_ == 0) {
+    *this = b;
+    return;
+  }
+  assert(rows_ == b.rows());
+  data_.insert(data_.end(), b.data_.begin(), b.data_.end());
+  cols_ += b.cols();
+}
+
+void Matrix::append_rows(const Matrix& b) {
+  if (empty() && cols_ == 0) {
+    *this = b;
+    return;
+  }
+  assert(cols_ == b.cols());
+  Matrix out(rows_ + b.rows(), cols_);
+  out.set_block(0, 0, *this);
+  out.set_block(rows_, 0, b);
+  *this = std::move(out);
+}
+
+double Matrix::frobenius_norm_sq() const noexcept {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  return std::sqrt(frobenius_norm_sq());
+}
+
+double Matrix::max_abs() const noexcept {
+  double s = 0.0;
+  for (double v : data_) s = std::max(s, std::fabs(v));
+  return s;
+}
+
+void Matrix::scale(double a) noexcept {
+  for (double& v : data_) v *= a;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double s = 0.0;
+  for (Index j = 0; j < a.cols(); ++j)
+    for (Index i = 0; i < a.rows(); ++i)
+      s = std::max(s, std::fabs(a(i, j) - b(i, j)));
+  return s;
+}
+
+}  // namespace lra

@@ -1,0 +1,46 @@
+#pragma once
+// Rank-revealing QR with column pivoting (Golub–Businger, LAPACK dgeqpf
+// style) with trailing-norm downdates and a recomputation safeguard. This is
+// the selection kernel at every node of the QR_TP tournament.
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+class QRCP {
+ public:
+  /// Factor A P = Q R with column pivoting. If max_steps >= 0, only the first
+  /// `max_steps` Householder steps are performed (enough to *select* the
+  /// leading max_steps columns, which is all the tournament needs).
+  explicit QRCP(Matrix a, Index max_steps = -1);
+
+  Index rows() const { return qr_.rows(); }
+  Index cols() const { return qr_.cols(); }
+  /// Number of Householder steps actually performed.
+  Index steps() const { return steps_; }
+
+  /// perm[j] = original index of the column now in position j.
+  const std::vector<Index>& perm() const { return perm_; }
+
+  /// |R(j,j)| for j < steps(); non-increasing up to pivoting effects.
+  double rdiag(Index j) const { return qr_(j, j); }
+
+  /// Upper-trapezoidal factor R (steps x n).
+  Matrix r() const;
+  /// Thin orthogonal factor Q (m x steps).
+  Matrix thin_q() const;
+
+  /// Smallest j with |R(j,j)| <= tol * |R(0,0)| (numerical rank estimate
+  /// relative to the largest pivot); returns steps() if none.
+  Index rank(double tol) const;
+
+ private:
+  Matrix qr_;
+  std::vector<double> tau_;
+  std::vector<Index> perm_;
+  Index steps_ = 0;
+};
+
+}  // namespace lra

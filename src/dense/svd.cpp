@@ -1,0 +1,107 @@
+#include "dense/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dense/bidiag.hpp"
+
+namespace lra {
+
+std::vector<double> symmetric_tridiagonal_eigenvalues(std::vector<double> d,
+                                                      std::vector<double> e) {
+  // Implicit-shift QL iteration (EISPACK tql1 lineage), values only.
+  const Index n = static_cast<Index>(d.size());
+  if (n == 0) return {};
+  e.push_back(0.0);  // sentinel
+  for (Index l = 0; l < n; ++l) {
+    Index iter = 0;
+    Index m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 2.220446049250313e-16 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 64)
+          break;  // accept current value; error is at deflation level
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (Index i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (i == l) {
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+            p = 0.0;
+          }
+        }
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+std::vector<double> singular_values(const Matrix& a) {
+  const Index k = std::min(a.rows(), a.cols());
+  if (k == 0) return {};
+  const Bidiagonal bd = bidiagonalize(a);
+
+  // Golub-Kahan tridiagonal: zero diagonal, off-diagonal interleaves
+  // [d0, e0, d1, e1, ...]; eigenvalues come in +/- sigma pairs.
+  const Index gn = 2 * k;
+  std::vector<double> gd(static_cast<std::size_t>(gn), 0.0);
+  std::vector<double> ge(static_cast<std::size_t>(gn - 1), 0.0);
+  for (Index i = 0; i < k; ++i) {
+    ge[2 * i] = bd.d[i];
+    if (i + 1 < k) ge[2 * i + 1] = bd.e[i];
+  }
+  std::vector<double> ev = symmetric_tridiagonal_eigenvalues(gd, ge);
+
+  // Take the k largest (the non-negative half), sorted descending.
+  std::vector<double> sigma(ev.rbegin(), ev.rbegin() + k);
+  for (double& s : sigma) s = std::max(s, 0.0);
+  return sigma;
+}
+
+Index min_rank_for_tolerance(const std::vector<double>& sigma, double tau) {
+  // tail(K)^2 = sum_{i > K} sigma_i^2 ; find smallest K with
+  // tail(K) < tau * ||A||_F. Accumulate from the back for accuracy.
+  const Index n = static_cast<Index>(sigma.size());
+  std::vector<double> tail(static_cast<std::size_t>(n + 1), 0.0);
+  for (Index i = n - 1; i >= 0; --i)
+    tail[i] = tail[i + 1] + sigma[i] * sigma[i];
+  const double target = tau * tau * tail[0];
+  for (Index r = 0; r <= n; ++r)
+    if (tail[r] < target) return r;
+  return n;
+}
+
+Index numerical_rank(const std::vector<double>& sigma, double tol) {
+  if (sigma.empty()) return 0;
+  const double cutoff = tol * sigma.front();
+  Index r = 0;
+  for (double s : sigma)
+    if (s > cutoff) ++r;
+  return r;
+}
+
+}  // namespace lra

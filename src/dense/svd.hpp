@@ -1,0 +1,28 @@
+#pragma once
+// Singular values of a dense matrix via Golub-Kahan bidiagonalization and
+// implicit-shift QL iteration on the Golub-Kahan tridiagonal form (whose
+// eigenvalues are +/- the singular values -> no squaring, full accuracy).
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+/// All singular values of `a`, sorted in descending order.
+std::vector<double> singular_values(const Matrix& a);
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diag, offdiag), unsorted in
+/// place of `diag` and also returned sorted ascending. Exposed for testing.
+std::vector<double> symmetric_tridiagonal_eigenvalues(std::vector<double> diag,
+                                                      std::vector<double> off);
+
+/// Smallest K such that sqrt(sum_{i>K} sigma_i^2) < tau * ||A||_F, computed
+/// from a descending spectrum. This is the paper's "minimum rank required"
+/// (Eckart-Young in the Frobenius norm).
+Index min_rank_for_tolerance(const std::vector<double>& sigma, double tau);
+
+/// Numerical rank: number of sigma_i > tol * sigma_0.
+Index numerical_rank(const std::vector<double>& sigma, double tol);
+
+}  // namespace lra

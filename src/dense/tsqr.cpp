@@ -1,0 +1,52 @@
+#include "dense/tsqr.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "dense/blas.hpp"
+#include "dense/qr.hpp"
+
+namespace lra {
+
+TsqrResult tsqr(const Matrix& a, Index block_rows) {
+  const Index m = a.rows(), n = a.cols();
+  assert(m >= n && block_rows >= n);
+
+  // Stage 1: independent QR per row block.
+  std::vector<Matrix> qs;
+  Matrix stacked_r(0, n);
+  std::vector<Index> offs;
+  for (Index r0 = 0; r0 < m; r0 += block_rows) {
+    const Index nr = std::min(block_rows, m - r0);
+    HouseholderQR f(a.block(r0, 0, nr, n));
+    qs.push_back(f.thin_q());
+    stacked_r.append_rows(f.r());
+    offs.push_back(r0);
+  }
+
+  // Stage 2: QR of the stacked R factors.
+  HouseholderQR top(stacked_r);
+  const Matrix q2 = top.thin_q();  // (nblocks*n) x n
+
+  TsqrResult out;
+  out.r = top.r();
+  out.q = Matrix(m, n);
+  for (std::size_t b = 0; b < qs.size(); ++b) {
+    const Matrix q2b = q2.block(static_cast<Index>(b) * n, 0, n, n);
+    out.q.set_block(offs[b], 0, matmul(qs[b], q2b));
+  }
+  return out;
+}
+
+Matrix tsqr_r(const Matrix& a, Index block_rows) {
+  const Index m = a.rows(), n = a.cols();
+  assert(m >= n && block_rows >= n);
+  Matrix stacked_r(0, n);
+  for (Index r0 = 0; r0 < m; r0 += block_rows) {
+    const Index nr = std::min(block_rows, m - r0);
+    stacked_r.append_rows(HouseholderQR(a.block(r0, 0, nr, n)).r());
+  }
+  return HouseholderQR(std::move(stacked_r)).r();
+}
+
+}  // namespace lra

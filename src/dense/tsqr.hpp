@@ -1,0 +1,22 @@
+#pragma once
+// Tall-skinny QR (Demmel et al., communication-avoiding QR). The sequential
+// form here factors a tall matrix by row blocks; the distributed RandQB_EI
+// runs the same two-stage scheme with the R-reduction done across ranks.
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+struct TsqrResult {
+  Matrix q;  // m x n, orthonormal columns
+  Matrix r;  // n x n, upper triangular
+};
+
+/// Factor a = q * r using a two-stage TSQR with row blocks of `block_rows`
+/// rows (the last block may be smaller). Requires rows >= cols.
+TsqrResult tsqr(const Matrix& a, Index block_rows);
+
+/// R-only variant (no Q reconstruction).
+Matrix tsqr_r(const Matrix& a, Index block_rows);
+
+}  // namespace lra

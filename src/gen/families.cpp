@@ -1,0 +1,136 @@
+#include "gen/families.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/coo.hpp"
+#include "support/rng.hpp"
+
+namespace lra {
+
+CscMatrix laplacian_2d(Index nx, Index ny, double contrast,
+                       std::uint64_t seed) {
+  const Index n = nx * ny;
+  CooBuilder coo(n, n);
+  CounterRng rng(seed, 3);
+  auto coef = [&] { return 1.0 + contrast * rng.uniform(); };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      const Index v = y * nx + x;
+      double diag = 0.0;
+      auto couple = [&](Index u) {
+        const double c = coef();
+        coo.add(v, u, -c);
+        diag += c;
+      };
+      if (x > 0) couple(v - 1);
+      if (x + 1 < nx) couple(v + 1);
+      if (y > 0) couple(v - nx);
+      if (y + 1 < ny) couple(v + nx);
+      coo.add(v, v, diag + coef() * 0.01);  // light shift keeps it SPD
+    }
+  }
+  return coo.build();
+}
+
+CscMatrix circuit_like(Index n, Index avg_degree, Index num_hubs,
+                       std::uint64_t seed) {
+  CooBuilder coo(n, n);
+  CounterRng rng(seed, 5);
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  const Index edges = n * avg_degree / 2;
+  for (Index e = 0; e < edges; ++e) {
+    const Index i = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    Index j = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    if (i == j) j = (j + 1) % n;
+    // Conductance spread over decades, as in real netlists.
+    const double g = std::pow(10.0, -3.0 + 6.0 * rng.uniform());
+    coo.add(i, j, -g);
+    // Unsymmetric coupling (controlled sources): only sometimes reciprocal.
+    if (rng.uniform() < 0.7) coo.add(j, i, -g * (0.5 + rng.uniform()));
+    diag[i] += g;
+    diag[j] += g;
+  }
+  // Hubs: a few nets touching many nodes (power/ground rails).
+  for (Index h = 0; h < num_hubs; ++h) {
+    const Index hub = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    const Index fan = n / 8;
+    for (Index t = 0; t < fan; ++t) {
+      const Index j = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+      if (j == hub) continue;
+      const double g = std::pow(10.0, -2.0 + 2.0 * rng.uniform());
+      coo.add(hub, j, -g);
+      diag[hub] += g;
+      diag[j] += g;
+    }
+  }
+  for (Index i = 0; i < n; ++i) coo.add(i, i, diag[i] + 1e-3);
+  return coo.build();
+}
+
+CscMatrix economic_like(Index n, Index nblocks, double coupling_density,
+                        std::uint64_t seed) {
+  CooBuilder coo(n, n);
+  CounterRng rng(seed, 7);
+  const Index bs = std::max<Index>(1, n / std::max<Index>(1, nblocks));
+  for (Index b0 = 0; b0 < n; b0 += bs) {
+    const Index b1 = std::min(b0 + bs, n);
+    // Within-sector flows: dense-ish block with decaying magnitudes.
+    for (Index j = b0; j < b1; ++j)
+      for (Index i = b0; i < b1; ++i)
+        if (i == j || rng.uniform() < 0.4)
+          coo.add(i, j, rng.uniform() / (1.0 + std::fabs(static_cast<double>(i - j))));
+  }
+  // Cross-sector couplings.
+  const Index ncouple = static_cast<Index>(coupling_density * static_cast<double>(n) *
+                                           static_cast<double>(n));
+  for (Index t = 0; t < ncouple; ++t) {
+    const Index i = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    const Index j = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    coo.add(i, j, 0.1 * rng.uniform());
+  }
+  return coo.build();
+}
+
+CscMatrix random_sparse(Index m, Index n, double density,
+                        std::uint64_t seed) {
+  CooBuilder coo(m, n);
+  CounterRng rng(seed, 11);
+  const Index nnz = static_cast<Index>(density * static_cast<double>(m) *
+                                       static_cast<double>(n));
+  for (Index t = 0; t < nnz; ++t)
+    coo.add(static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(m))),
+            static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n))),
+            rng.gaussian());
+  return coo.build();
+}
+
+CscMatrix integer_like(Index n, double density, std::uint64_t seed) {
+  CooBuilder coo(n, n);
+  CounterRng rng(seed, 13);
+  const Index nnz = static_cast<Index>(density * static_cast<double>(n) *
+                                       static_cast<double>(n));
+  for (Index t = 0; t < nnz; ++t) {
+    const int v = static_cast<int>(rng.uniform_int(7)) - 3;
+    if (v == 0) continue;
+    coo.add(static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n))),
+            static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(n))),
+            static_cast<double>(v));
+  }
+  return coo.build();
+}
+
+CscMatrix banded_operator(Index n, Index band, std::uint64_t seed) {
+  CooBuilder coo(n, n);
+  CounterRng rng(seed, 19);
+  for (Index j = 0; j < n; ++j) {
+    coo.add(j, j, 4.0 + rng.uniform());
+    for (Index d = 1; d <= band; ++d) {
+      if (j >= d) coo.add(j - d, j, -1.0 / static_cast<double>(d) + 0.1 * rng.gaussian());
+      if (j + d < n) coo.add(j + d, j, -0.5 / static_cast<double>(d) + 0.1 * rng.gaussian());
+    }
+  }
+  return coo.build();
+}
+
+}  // namespace lra

@@ -1,0 +1,39 @@
+#pragma once
+// Structured sparse matrix families used by the small-matrix suite (Fig. 1)
+// and the examples: discretized operators and application-style matrices
+// whose spectra are *not* prescribed (they emerge from the structure, as in
+// the SJSU/SuiteSparse test sets).
+
+#include <cstdint>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// 5-point Laplacian on an nx x ny grid with per-cell random coefficients in
+/// [1, 1 + contrast] (structural-problem analog; SPD).
+CscMatrix laplacian_2d(Index nx, Index ny, double contrast = 0.0,
+                       std::uint64_t seed = 1);
+
+/// Circuit-like conductance matrix: sparse, unsymmetric, diagonally dominant
+/// with a few high-degree "net" rows/columns (circuit-simulation analog).
+CscMatrix circuit_like(Index n, Index avg_degree, Index num_hubs,
+                       std::uint64_t seed = 1);
+
+/// Economic input-output style matrix: dense-ish diagonal blocks (sectors)
+/// with sparse nonnegative couplings between blocks.
+CscMatrix economic_like(Index n, Index nblocks, double coupling_density,
+                        std::uint64_t seed = 1);
+
+/// Uniform random sparse with the given density and N(0,1) values.
+CscMatrix random_sparse(Index m, Index n, double density,
+                        std::uint64_t seed = 1);
+
+/// Small-integer entries in {-3..3} at random positions (the "integer
+/// matrices" class the paper's suite filters; kept for coverage).
+CscMatrix integer_like(Index n, double density, std::uint64_t seed = 1);
+
+/// Nonsymmetric banded Toeplitz-ish operator (convection-diffusion analog).
+CscMatrix banded_operator(Index n, Index band, std::uint64_t seed = 1);
+
+}  // namespace lra

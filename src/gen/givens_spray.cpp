@@ -1,0 +1,113 @@
+#include "gen/givens_spray.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+#include "support/rng.hpp"
+
+namespace lra {
+namespace {
+
+using SparseVec = std::unordered_map<Index, double>;
+
+// One sweep of disjoint random Givens rotations over the "rows" of a
+// row-map representation. Pairing: a random permutation chunked into pairs,
+// optionally restricted to |i - j| <= bandwidth by pairing i with a nearby
+// partner.
+void rotate_pass(std::vector<SparseVec>& rows, Index bandwidth,
+                 CounterRng& rng) {
+  const Index n = static_cast<Index>(rows.size());
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Index{0});
+  if (bandwidth <= 0) {
+    // Fisher-Yates for an unrestricted pairing.
+    for (Index i = n - 1; i > 0; --i) {
+      const Index j = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(i + 1)));
+      std::swap(order[i], order[j]);
+    }
+  }
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (Index t = 0; t + 1 < n; ++t) {
+    Index i, j;
+    if (bandwidth <= 0) {
+      if (t % 2 != 0) continue;
+      i = order[t];
+      j = order[t + 1];
+    } else {
+      i = t;
+      if (used[i]) continue;
+      const Index delta =
+          1 + static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(bandwidth)));
+      j = std::min(n - 1, i + delta);
+      if (j == i || used[j]) continue;
+    }
+    used[i] = used[j] = 1;
+    const double theta = rng.uniform() * 6.283185307179586;
+    const double c = std::cos(theta), s = std::sin(theta);
+    // (row_i, row_j) <- (c row_i - s row_j, s row_i + c row_j)
+    SparseVec ri = std::move(rows[i]);
+    SparseVec rj = std::move(rows[j]);
+    SparseVec ni, nj;
+    ni.reserve(ri.size() + rj.size());
+    nj.reserve(ri.size() + rj.size());
+    for (const auto& [col, v] : ri) {
+      ni[col] += c * v;
+      nj[col] += s * v;
+    }
+    for (const auto& [col, v] : rj) {
+      ni[col] -= s * v;
+      nj[col] += c * v;
+    }
+    rows[i] = std::move(ni);
+    rows[j] = std::move(nj);
+  }
+}
+
+std::vector<SparseVec> transpose_maps(const std::vector<SparseVec>& rows,
+                                      Index ncols) {
+  std::vector<SparseVec> cols(static_cast<std::size_t>(ncols));
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (const auto& [j, v] : rows[i])
+      cols[j][static_cast<Index>(i)] = v;
+  return cols;
+}
+
+}  // namespace
+
+CscMatrix givens_spray(const std::vector<double>& sigma,
+                       const GivensSprayOptions& opts) {
+  const Index n = static_cast<Index>(sigma.size());
+  CounterRng rng(opts.seed, 42);
+
+  // Start from diag(sigma) with randomly permuted column placement so banded
+  // sweeps don't correlate position with magnitude.
+  std::vector<Index> colperm(static_cast<std::size_t>(n));
+  std::iota(colperm.begin(), colperm.end(), Index{0});
+  for (Index i = n - 1; i > 0; --i) {
+    const Index j = static_cast<Index>(rng.uniform_int(static_cast<std::uint64_t>(i + 1)));
+    std::swap(colperm[i], colperm[j]);
+  }
+  std::vector<SparseVec> rows(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i)
+    if (sigma[i] != 0.0) rows[i][colperm[i]] = sigma[i];
+
+  for (int p = 0; p < opts.left_passes; ++p)
+    rotate_pass(rows, opts.bandwidth, rng);
+  // Right rotations = left rotations on the transpose.
+  std::vector<SparseVec> cols = transpose_maps(rows, n);
+  rows.clear();
+  rows.shrink_to_fit();
+  for (int p = 0; p < opts.right_passes; ++p)
+    rotate_pass(cols, opts.bandwidth, rng);
+
+  CooBuilder coo(n, n);
+  for (std::size_t j = 0; j < cols.size(); ++j)
+    for (const auto& [i, v] : cols[j])
+      if (std::fabs(v) > opts.drop_tol) coo.add(i, static_cast<Index>(j), v);
+  return coo.build();
+}
+
+}  // namespace lra

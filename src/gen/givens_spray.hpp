@@ -1,0 +1,29 @@
+#pragma once
+// Spectrum-controlled sparse matrix generator: A = G_L diag(sigma) G_R^T
+// where G_L and G_R are products of random sparse Givens rotations. The
+// rotations are orthogonal, so the singular values of A are *exactly*
+// `sigma`, while the number of passes controls nnz/row (~2^passes) and the
+// pairing bandwidth controls structure (banded/local vs scattered coupling —
+// the knob that drives LU_CRTP fill-in). See DESIGN.md substitutions.
+
+#include <cstdint>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+struct GivensSprayOptions {
+  int left_passes = 2;    // rotation sweeps applied to rows
+  int right_passes = 2;   // rotation sweeps applied to columns
+  Index bandwidth = 0;    // max pairing distance |i - j|; 0 = unrestricted
+  std::uint64_t seed = 1;
+  /// Drop generated entries below this magnitude (keeps nnz bounded when
+  /// many passes are used; perturbs sigma by at most the dropped mass).
+  double drop_tol = 0.0;
+};
+
+/// Square n x n matrix with singular values exactly `sigma` (|sigma| = n).
+CscMatrix givens_spray(const std::vector<double>& sigma,
+                       const GivensSprayOptions& opts);
+
+}  // namespace lra

@@ -1,0 +1,110 @@
+#include "gen/presets.hpp"
+
+#include <stdexcept>
+
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+
+namespace lra {
+namespace {
+
+// The anchors pin the fraction of n that each tolerance requires
+// (K_min(tau) / n), taken from Table II of the paper (K = its * k over the
+// original size). This makes the scaled-down analogs reproduce the paper's
+// iteration behaviour at any size; the spray options reproduce the sparsity
+// structure (local vs global coupling -> fill-in behaviour).
+TestMatrix build(const std::string& label, const std::string& analog,
+                 const std::string& desc, Index n, double s0,
+                 std::vector<SpectrumAnchor> anchors,
+                 GivensSprayOptions opts) {
+  TestMatrix t;
+  t.label = label;
+  t.analog_of = analog;
+  t.description = desc;
+  t.sigma = anchored_spectrum(n, std::move(anchors), s0);
+  t.a = givens_spray(t.sigma, opts);
+  return t;
+}
+
+}  // namespace
+
+TestMatrix make_preset(const std::string& label, double scale,
+                       std::uint64_t seed) {
+  auto dim = [&](Index base) {
+    return std::max<Index>(96, static_cast<Index>(scale * static_cast<double>(base)));
+  };
+
+  if (label == "M1") {
+    // bcsstk18: structural FEM. Moderate decay (12% / 30% / 50% of n for
+    // tau = 1e-1/-2/-3), locally coupled -> little fill-in, LU_CRTP
+    // competitive at low accuracy.
+    return build(label, "bcsstk18", "Structural Problem", dim(1500), 1.0e3,
+                 {{0.12, 1e-1}, {0.30, 1e-2}, {0.50, 1e-3}, {1.0, 1e-6}},
+                 {.left_passes = 2, .right_passes = 2, .bandwidth = 40,
+                  .seed = seed});
+  }
+  if (label == "M2") {
+    // raefsky3: fluid dynamics, dense rows and global coupling -> severe
+    // Schur fill-in (Fig. 1 right); the case where RandQB_EI overtakes
+    // LU_CRTP and ILUT_CRTP shines (nnz ratios in the hundreds).
+    return build(label, "raefsky3", "Fluid Dynamics", dim(2000), 1.0,
+                 {{0.136, 1e-1}, {0.28, 1e-2}, {0.45, 1e-3}, {0.54, 1e-4},
+                  {1.0, 1e-7}},
+                 {.left_passes = 3, .right_passes = 3, .bandwidth = 0,
+                  .seed = seed});
+  }
+  if (label == "M3") {
+    // onetone2: circuit simulation with slow initial decay (27% of n for
+    // one digit; RandQB_EI with p = 0 struggles); locally structured.
+    return build(label, "onetone2", "Circuit Simulation", dim(2500), 10.0,
+                 {{0.27, 1e-1}, {0.32, 1e-2}, {0.54, 1e-3}, {1.0, 1e-6}},
+                 {.left_passes = 2, .right_passes = 2, .bandwidth = 60,
+                  .seed = seed});
+  }
+  if (label == "M4") {
+    // rajat23: dominant leading cluster (one block captures a digit), then a
+    // long tail: 2% / 10% / 50% of n.
+    return build(label, "rajat23", "Circuit Simulation", dim(3500), 3.0e3,
+                 {{0.02, 1e-1}, {0.10, 1e-2}, {0.50, 1e-3}, {1.0, 1e-6}},
+                 {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                  .seed = seed});
+  }
+  if (label == "M5") {
+    // mac_econ_fwd500: economic problem; fast start then an extremely flat
+    // plateau — below ~4e-5 the rank exceeds 40% of n (Fig. 3).
+    return build(label, "mac_econ_fwd500", "Economic Problem", dim(4000),
+                 1.0e2,
+                 {{0.052, 1e-1}, {0.12, 1e-2}, {0.15, 1e-3}, {0.18, 1e-4},
+                  {0.42, 4e-5}, {1.0, 1e-7}},
+                 {.left_passes = 2, .right_passes = 2, .bandwidth = 120,
+                  .seed = seed});
+  }
+  if (label == "M6") {
+    // circuit5M_dc: very sparse, extremely concentrated spectrum: 1.2% of n
+    // buys three digits, the fourth costs 20% (its = 1 vs 17 in Table II);
+    // local structure, mild fill (nnz ratio ~2.4).
+    return build(label, "circuit5M_dc", "Circuit Simulation", dim(8000),
+                 1.0e4, {{0.012, 1e-3}, {0.20, 1e-4}, {1.0, 1e-7}},
+                 {.left_passes = 1, .right_passes = 2, .bandwidth = 100,
+                  .seed = seed});
+  }
+  throw std::invalid_argument("unknown preset label: " + label);
+}
+
+const std::vector<std::string>& preset_labels() {
+  static const std::vector<std::string> labels = {"M1", "M2", "M3",
+                                                  "M4", "M5", "M6"};
+  return labels;
+}
+
+std::vector<double> preset_tau_grid(const std::string& label) {
+  if (label == "M1") return {1e-1, 1e-2, 1e-3};
+  if (label == "M2") return {1e-1, 1e-2, 1e-3, 1e-4};
+  if (label == "M3") return {1e-1, 1e-2, 1e-3};
+  if (label == "M4") return {1e-1, 1e-2, 1e-3};
+  if (label == "M5") return {1e-1, 1e-2, 1e-3, 1e-4};
+  if (label == "M6") return {1e-3, 1e-4};
+  throw std::invalid_argument("unknown preset label: " + label);
+}
+
+}  // namespace lra

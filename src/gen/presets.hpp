@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic analogs of the paper's Table I test matrices (scaled down for a
+// single-node run; see DESIGN.md). Each preset prescribes a spectrum that
+// reproduces the convergence behaviour reported in Table II and a sparsity
+// structure (pairing bandwidth / rotation passes) that reproduces the
+// fill-in behaviour, and carries its exact singular values.
+
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+struct TestMatrix {
+  std::string label;        // "M1" .. "M6"
+  std::string analog_of;    // SuiteSparse matrix it stands in for
+  std::string description;  // problem class (Table I wording)
+  CscMatrix a;
+  std::vector<double> sigma;  // exact singular values (descending)
+};
+
+/// Build the analog of the given Table I label ("M1".."M6"). `scale`
+/// multiplies the (already scaled-down) default dimension.
+TestMatrix make_preset(const std::string& label, double scale = 1.0,
+                       std::uint64_t seed = 1);
+
+/// All Table I labels in order.
+const std::vector<std::string>& preset_labels();
+
+/// The tau grid Table II uses for the given label.
+std::vector<double> preset_tau_grid(const std::string& label);
+
+}  // namespace lra

@@ -1,0 +1,106 @@
+#include "gen/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace lra {
+
+std::vector<double> geometric_spectrum(Index l, double s0, double ratio) {
+  std::vector<double> s(static_cast<std::size_t>(l));
+  double v = s0;
+  for (Index i = 0; i < l; ++i) {
+    s[i] = v;
+    v *= ratio;
+  }
+  return s;
+}
+
+std::vector<double> algebraic_spectrum(Index l, double s0, double power) {
+  std::vector<double> s(static_cast<std::size_t>(l));
+  for (Index i = 0; i < l; ++i)
+    s[i] = s0 / std::pow(1.0 + static_cast<double>(i), power);
+  return s;
+}
+
+std::vector<double> gapped_spectrum(Index l, Index head, double s_head,
+                                    double s_tail, double tail_power) {
+  std::vector<double> s(static_cast<std::size_t>(l));
+  for (Index i = 0; i < l; ++i) {
+    if (i < head)
+      s[i] = s_head * (1.0 - 0.5 * static_cast<double>(i) /
+                                 std::max<Index>(1, head));
+    else
+      s[i] = s_tail / std::pow(1.0 + static_cast<double>(i - head), tail_power);
+  }
+  return s;
+}
+
+std::vector<double> staircase_spectrum(Index l, Index nsteps, double s0,
+                                       double drop) {
+  std::vector<double> s(static_cast<std::size_t>(l));
+  const Index per = std::max<Index>(1, l / std::max<Index>(1, nsteps));
+  double v = s0;
+  for (Index i = 0; i < l; ++i) {
+    s[i] = v;
+    if ((i + 1) % per == 0) v *= drop;
+  }
+  return s;
+}
+
+std::vector<double> rank_deficient_spectrum(Index l, Index r, double s0,
+                                            double eps_level) {
+  std::vector<double> s(static_cast<std::size_t>(l));
+  for (Index i = 0; i < l; ++i) {
+    if (i < r)
+      s[i] = s0 / std::pow(1.0 + static_cast<double>(i), 0.3);
+    else
+      s[i] = s0 * eps_level;
+  }
+  return s;
+}
+
+std::vector<double> anchored_spectrum(Index l,
+                                      std::vector<SpectrumAnchor> anchors,
+                                      double s0) {
+  // tail2(K) = squared relative tail; log-linear in K between anchor points
+  // (1 at K = 0, anchors in order, floor at the last anchor).
+  if (anchors.empty() || anchors.back().frac < 1.0)
+    anchors.push_back({1.0, anchors.empty() ? 1e-8 : anchors.back().tau * 1e-2});
+  std::vector<double> ks = {0.0};
+  std::vector<double> logt2 = {0.0};  // log(tail^2(0)) = log 1
+  for (const auto& a : anchors) {
+    ks.push_back(a.frac * static_cast<double>(l));
+    logt2.push_back(2.0 * std::log(a.tau));
+  }
+  auto tail2 = [&](double k) {
+    if (k <= 0.0) return 1.0;
+    for (std::size_t s = 1; s < ks.size(); ++s) {
+      if (k <= ks[s]) {
+        const double w = (k - ks[s - 1]) / (ks[s] - ks[s - 1]);
+        return std::exp(logt2[s - 1] + w * (logt2[s] - logt2[s - 1]));
+      }
+    }
+    return std::exp(logt2.back());
+  };
+  std::vector<double> sigma(static_cast<std::size_t>(l));
+  for (Index i = 0; i < l; ++i) {
+    const double d = tail2(static_cast<double>(i)) -
+                     tail2(static_cast<double>(i + 1));
+    sigma[i] = std::sqrt(std::max(d, 1e-300));
+  }
+  std::sort(sigma.begin(), sigma.end(), std::greater<>());
+  const double scale = s0 / sigma.front();
+  for (double& v : sigma) v *= scale;
+  return sigma;
+}
+
+void jitter_spectrum(std::vector<double>& sigma, double jitter,
+                     std::uint64_t seed) {
+  CounterRng rng(seed, 17);
+  for (double& v : sigma) v *= std::exp(jitter * rng.gaussian());
+  std::sort(sigma.begin(), sigma.end(), std::greater<>());
+}
+
+}  // namespace lra

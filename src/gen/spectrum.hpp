@@ -1,0 +1,56 @@
+#pragma once
+// Prescribed singular-value profiles for the synthetic test matrices.
+// Matrices built from these via gen/givens_spray.hpp have *exactly* these
+// singular values, which stands in for the paper's TSVD reference when
+// computing "minimum rank required" curves (Figs. 2-3). See DESIGN.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+/// sigma_i = s0 * ratio^i, i = 0..l-1 (fast, smooth decay).
+std::vector<double> geometric_spectrum(Index l, double s0, double ratio);
+
+/// sigma_i = s0 / (1 + i)^power (slow, heavy-tailed decay).
+std::vector<double> algebraic_spectrum(Index l, double s0, double power);
+
+/// `head` leading values of s_head, then an algebraic tail starting at
+/// s_tail — a large leading gap (circuit-like spectra; M4'/M6' analogs).
+std::vector<double> gapped_spectrum(Index l, Index head, double s_head,
+                                    double s_tail, double tail_power);
+
+/// Piecewise-constant staircase: `nsteps` plateaus, each `drop` times
+/// smaller than the previous.
+std::vector<double> staircase_spectrum(Index l, Index nsteps, double s0,
+                                       double drop);
+
+/// Exact numerical rank `r`: r values decaying gently from s0, then values at
+/// s0 * eps_level (rank-deficient test matrices).
+std::vector<double> rank_deficient_spectrum(Index l, Index r, double s0,
+                                            double eps_level);
+
+/// Multiply each value by exp(jitter * g_i) with g_i standard normal —
+/// roughens an analytic profile so it looks like real data.
+void jitter_spectrum(std::vector<double>& sigma, double jitter,
+                     std::uint64_t seed);
+
+/// One point of an anchored spectrum: "a rank of `frac` * n is required to
+/// reach relative Frobenius accuracy `tau`".
+struct SpectrumAnchor {
+  double frac;  // K / n, strictly increasing across anchors, in (0, 1]
+  double tau;   // strictly decreasing across anchors, in (0, 1)
+};
+
+/// Spectrum whose relative Frobenius tail sqrt(sum_{i>K} s_i^2 / sum s_i^2)
+/// passes through the given anchors (log-linear interpolation in between,
+/// starting from tail(0) = 1). This pins the *fraction of n* each tolerance
+/// requires — the quantity that makes scaled-down analogs reproduce the
+/// iteration counts of Table II at any matrix size. `s0` scales sigma_0.
+std::vector<double> anchored_spectrum(Index l,
+                                      std::vector<SpectrumAnchor> anchors,
+                                      double s0 = 1.0);
+
+}  // namespace lra

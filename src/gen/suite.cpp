@@ -1,0 +1,99 @@
+#include "gen/suite.hpp"
+
+#include <algorithm>
+
+#include "dense/svd.hpp"
+#include "gen/families.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "support/rng.hpp"
+
+namespace lra {
+namespace {
+
+Index pick_dim(CounterRng& rng, const SuiteOptions& o) {
+  return o.min_dim +
+         static_cast<Index>(rng.uniform_int(
+             static_cast<std::uint64_t>(o.max_dim - o.min_dim + 1)));
+}
+
+}  // namespace
+
+std::vector<SuiteMatrix> make_suite(const SuiteOptions& opts) {
+  std::vector<SuiteMatrix> suite;
+  CounterRng rng(opts.seed, 23);
+  auto add = [&](std::string family, CscMatrix a) {
+    SuiteMatrix m;
+    m.family = std::move(family);
+    m.name = m.family + "_" + std::to_string(suite.size());
+    m.numerical_rank =
+        numerical_rank(singular_values(a.to_dense()), opts.rank_tol);
+    m.a = std::move(a);
+    suite.push_back(std::move(m));
+  };
+
+  for (int t = 0; t < opts.per_family; ++t) {
+    const std::uint64_t s = rng.next();
+    // 1. FEM Laplacians (SPD, slowly decaying spectra).
+    {
+      const Index nx = 8 + static_cast<Index>(rng.uniform_int(8));
+      const Index ny = 8 + static_cast<Index>(rng.uniform_int(12));
+      add("laplacian", laplacian_2d(nx, ny, 5.0 * rng.uniform(), s));
+    }
+    // 2. Circuit-like (wide magnitude range, unsymmetric).
+    {
+      const Index n = pick_dim(rng, opts);
+      add("circuit", circuit_like(n, 4, 2, s + 1));
+    }
+    // 3. Economic-like block matrices.
+    {
+      const Index n = pick_dim(rng, opts);
+      add("economic", economic_like(n, 5, 0.01, s + 2));
+    }
+    // 4. Banded operators (convection-diffusion analogs).
+    {
+      const Index n = pick_dim(rng, opts);
+      add("banded", banded_operator(n, 2 + static_cast<Index>(rng.uniform_int(4)), s + 3));
+    }
+    // 5. Scattered spray with geometric decay (well-conditioned low rank).
+    {
+      const Index n = pick_dim(rng, opts);
+      auto sig = geometric_spectrum(n, 10.0, 0.85 + 0.1 * rng.uniform());
+      add("spray_geo", givens_spray(sig, {.left_passes = 2, .right_passes = 2,
+                                          .bandwidth = 0, .seed = s + 4}));
+    }
+    // 6. Banded spray with algebraic decay.
+    {
+      const Index n = pick_dim(rng, opts);
+      auto sig = algebraic_spectrum(n, 5.0, 0.8 + rng.uniform());
+      add("spray_alg",
+          givens_spray(sig, {.left_passes = 2, .right_passes = 2,
+                             .bandwidth = 10 + static_cast<Index>(rng.uniform_int(20)),
+                             .seed = s + 5}));
+    }
+    // 7. Rank-deficient sprays (true numerical rank << n).
+    {
+      const Index n = pick_dim(rng, opts);
+      const Index r = n / (2 + static_cast<Index>(rng.uniform_int(4)));
+      auto sig = rank_deficient_spectrum(n, r, 3.0, 1e-13);
+      add("rank_def", givens_spray(sig, {.left_passes = 2, .right_passes = 2,
+                                         .bandwidth = 0, .seed = s + 6}));
+    }
+    // 8. Staircase spectra with pronounced gaps.
+    {
+      const Index n = pick_dim(rng, opts);
+      auto sig = staircase_spectrum(n, 4 + static_cast<Index>(rng.uniform_int(4)),
+                                    100.0, 0.02 + 0.05 * rng.uniform());
+      add("staircase", givens_spray(sig, {.left_passes = 2, .right_passes = 2,
+                                          .bandwidth = 0, .seed = s + 7}));
+    }
+  }
+
+  std::stable_sort(suite.begin(), suite.end(),
+                   [](const SuiteMatrix& a, const SuiteMatrix& b) {
+                     return a.numerical_rank < b.numerical_rank;
+                   });
+  return suite;
+}
+
+}  // namespace lra

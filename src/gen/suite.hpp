@@ -1,0 +1,33 @@
+#pragma once
+// The small-matrix population for the Fig. 1 experiment — this repo's
+// stand-in for the 197 sparse matrices of the San Jose State University
+// Singular Matrix Database used in Section VI-A. Eight families, varied
+// sizes/seeds, each tagged with its numerical rank (computed with the
+// bidiagonal SVD), ordered by ascending numerical rank as in the paper.
+
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+struct SuiteMatrix {
+  std::string name;
+  std::string family;
+  CscMatrix a;
+  Index numerical_rank = 0;  // #sigma > 1e-10 * sigma_max
+};
+
+struct SuiteOptions {
+  int per_family = 25;     // matrices per family (8 families)
+  Index min_dim = 60;
+  Index max_dim = 240;
+  std::uint64_t seed = 2026;
+  double rank_tol = 1e-10;
+};
+
+/// Generate the population (ordered by ascending numerical rank).
+std::vector<SuiteMatrix> make_suite(const SuiteOptions& opts = {});
+
+}  // namespace lra

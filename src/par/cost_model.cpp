@@ -1,0 +1,42 @@
+#include "par/cost_model.hpp"
+
+namespace lra {
+
+int CostModel::ceil_log2(int p) {
+  int l = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+double CostModel::p2p(std::size_t bytes) const {
+  return alpha + beta * static_cast<double>(bytes);
+}
+
+double CostModel::tree(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  return static_cast<double>(ceil_log2(nranks)) * p2p(bytes);
+}
+
+double CostModel::allreduce(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  // Rabenseifner reduce-scatter + allgather: 2 log2(P) latency stages, but
+  // only ~2 (P-1)/P of the payload crosses any link (bandwidth-optimal).
+  const double frac =
+      static_cast<double>(nranks - 1) / static_cast<double>(nranks);
+  return 2.0 * static_cast<double>(ceil_log2(nranks)) * alpha +
+         2.0 * frac * beta * static_cast<double>(bytes);
+}
+
+double CostModel::allgather(int nranks, std::size_t total_bytes) const {
+  if (nranks <= 1) return 0.0;
+  const double frac =
+      static_cast<double>(nranks - 1) / static_cast<double>(nranks);
+  return static_cast<double>(ceil_log2(nranks)) * alpha +
+         beta * frac * static_cast<double>(total_bytes);
+}
+
+}  // namespace lra

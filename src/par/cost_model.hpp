@@ -1,0 +1,29 @@
+#pragma once
+// Alpha-beta (latency-bandwidth) communication cost model used to advance
+// virtual clocks in the simulated message-passing runtime. Defaults roughly
+// match a commodity HPC interconnect (2 us latency, ~1.25 GB/s effective
+// per-link bandwidth), i.e. the class of machine (VSC4) used in the paper.
+
+#include <cstddef>
+
+namespace lra {
+
+struct CostModel {
+  double alpha = 2.0e-6;  // per-message latency, seconds
+  double beta = 8.0e-10;  // per-byte transfer time, seconds
+
+  /// Point-to-point message of `bytes`.
+  double p2p(std::size_t bytes) const;
+  /// Tree-structured collective (bcast/reduce/barrier) over P ranks moving
+  /// `bytes` per stage: ceil(log2 P) sequential message steps.
+  double tree(int nranks, std::size_t bytes) const;
+  /// Recursive-doubling allreduce of `bytes` (log2 P stages, full payload).
+  double allreduce(int nranks, std::size_t bytes) const;
+  /// Bandwidth-optimal allgather: log2 P latency stages, (P-1)/P of the total
+  /// payload crosses each link.
+  double allgather(int nranks, std::size_t total_bytes) const;
+
+  static int ceil_log2(int p);
+};
+
+}  // namespace lra

@@ -1,0 +1,48 @@
+#include "par/kernel_timers.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace lra {
+
+const std::vector<std::string> kDetKernels = {
+    "col_qrtp", "col_qr", "row_qrtp", "row_perm", "solve_a21", "schur",
+    "threshold"};
+
+const std::vector<std::string> kRandKernels = {
+    "spmm", "orth", "power", "reorth", "b_update", "error_check"};
+
+void print_kernel_breakdown(std::ostream& os,
+                            const std::map<std::string, double>& times,
+                            const std::vector<std::string>& kernels,
+                            double total) {
+  double accounted = 0.0;
+  double maxval = 1e-12;
+  for (const auto& k : kernels) {
+    auto it = times.find(k);
+    const double v = it == times.end() ? 0.0 : it->second;
+    accounted += v;
+    maxval = std::max(maxval, v);
+  }
+  const double other = std::max(0.0, total - accounted);
+  maxval = std::max(maxval, other);
+
+  auto bar = [&](double v) {
+    const int width = static_cast<int>(40.0 * v / maxval + 0.5);
+    return std::string(static_cast<std::size_t>(width), '#');
+  };
+  char buf[160];
+  for (const auto& k : kernels) {
+    auto it = times.find(k);
+    const double v = it == times.end() ? 0.0 : it->second;
+    std::snprintf(buf, sizeof(buf), "  %-12s %10.4fs  %s\n", k.c_str(), v,
+                  bar(v).c_str());
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-12s %10.4fs  %s\n", "other", other,
+                bar(other).c_str());
+  os << buf;
+}
+
+}  // namespace lra

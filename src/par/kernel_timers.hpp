@@ -1,0 +1,24 @@
+#pragma once
+// Helpers for reporting per-kernel time breakdowns (Figs. 5 and 6): fixed
+// kernel name lists per algorithm and a bar-style ASCII renderer.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lra {
+
+/// Kernel labels used by the deterministic algorithms (LU_CRTP/ILUT_CRTP).
+extern const std::vector<std::string> kDetKernels;
+/// Kernel labels used by RandQB_EI.
+extern const std::vector<std::string> kRandKernels;
+
+/// Print "label  seconds  [bar]" rows for the listed kernels (absent kernels
+/// print 0), followed by an "other" row holding the remainder vs `total`.
+void print_kernel_breakdown(std::ostream& os,
+                            const std::map<std::string, double>& times,
+                            const std::vector<std::string>& kernels,
+                            double total);
+
+}  // namespace lra

@@ -1,0 +1,202 @@
+#include "par/simcomm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#ifdef LRA_OPENMP
+#include <omp.h>
+#endif
+
+namespace lra {
+
+int RankCtx::size() const { return world_->nranks_; }
+
+const CostModel& RankCtx::cost() const { return world_->cost_; }
+
+void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
+  SimWorld::Mailbox& box =
+      world_->mailbox_[static_cast<std::size_t>(dst) * world_->nranks_ + rank_];
+  const double arrival = vclock_ + world_->cost_.p2p(data.size());
+  // Buffered send: the sender pays only the injection latency.
+  vclock_ += world_->cost_.alpha;
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.per_src_queue.push_back(SimWorld::Message{tag, std::move(data), arrival});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
+  SimWorld::Mailbox& box =
+      world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ + src];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.per_src_queue.begin(); it != box.per_src_queue.end();
+         ++it) {
+      if (it->tag == tag) {
+        SimWorld::Message msg = std::move(*it);
+        box.per_src_queue.erase(it);
+        lock.unlock();
+        vclock_ = std::max(vclock_, msg.arrival_vtime);
+        return std::move(msg.data);
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::vector<std::vector<std::byte>> RankCtx::exchange_all(
+    std::vector<std::byte> contribution, double modeled_cost) {
+  SimWorld::CollectiveCtx& c = world_->coll_;
+  std::unique_lock<std::mutex> lock(c.mu);
+  const long my_gen = c.generation;
+  c.contrib[rank_] = std::move(contribution);
+  c.vt_max = std::max(c.vt_max, vclock_);
+  c.cost_max = std::max(c.cost_max, modeled_cost);
+  if (++c.arrived == world_->nranks_) {
+    c.result = std::move(c.contrib);
+    c.contrib.assign(static_cast<std::size_t>(world_->nranks_), {});
+    c.vt_out = c.vt_max + c.cost_max;
+    c.vt_max = 0.0;
+    c.cost_max = 0.0;
+    c.arrived = 0;
+    ++c.generation;
+    c.cv.notify_all();
+  } else {
+    c.cv.wait(lock, [&] { return c.generation != my_gen; });
+  }
+  vclock_ = c.vt_out;
+  return c.result;  // copy: every rank gets the full set
+}
+
+void RankCtx::barrier() {
+  exchange_all({}, world_->cost_.tree(world_->nranks_, 8));
+}
+
+void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
+  std::vector<std::byte> contrib = rank_ == root ? buf : std::vector<std::byte>{};
+  const double cost = world_->cost_.tree(world_->nranks_, buf.size());
+  // Non-roots do not know the size yet; the cost max over ranks is what
+  // counts, and the root supplies the true one.
+  auto all = exchange_all(std::move(contrib),
+                          rank_ == root ? cost : 0.0);
+  buf = std::move(all[root]);
+}
+
+std::vector<double> RankCtx::allreduce_sum(std::vector<double> local) {
+  std::vector<std::byte> b(local.size() * sizeof(double));
+  std::memcpy(b.data(), local.data(), b.size());
+  auto all = exchange_all(std::move(b),
+                          world_->cost_.allreduce(world_->nranks_,
+                                                  local.size() * sizeof(double)));
+  std::vector<double> out(local.size(), 0.0);
+  for (const auto& blob : all) {
+    const double* v = reinterpret_cast<const double*>(blob.data());
+    const std::size_t n = blob.size() / sizeof(double);
+    for (std::size_t i = 0; i < n && i < out.size(); ++i) out[i] += v[i];
+  }
+  return out;
+}
+
+double RankCtx::allreduce_sum(double x) {
+  return allreduce_sum(std::vector<double>{x})[0];
+}
+
+double RankCtx::allreduce_max(double x) {
+  std::vector<std::byte> b(sizeof(double));
+  std::memcpy(b.data(), &x, sizeof(double));
+  auto all = exchange_all(std::move(b),
+                          world_->cost_.allreduce(world_->nranks_, sizeof(double)));
+  double mx = x;
+  for (const auto& blob : all) {
+    double v;
+    std::memcpy(&v, blob.data(), sizeof(double));
+    mx = std::max(mx, v);
+  }
+  return mx;
+}
+
+long long RankCtx::allreduce_max(long long x) {
+  return static_cast<long long>(allreduce_max(static_cast<double>(x)));
+}
+
+std::vector<double> RankCtx::allgatherv(const std::vector<double>& local) {
+  std::vector<std::byte> b(local.size() * sizeof(double));
+  std::memcpy(b.data(), local.data(), b.size());
+  // Total volume is only known post-exchange; approximate with P * local
+  // size, which is exact for the uniform distributions used here.
+  const double cost = world_->cost_.allgather(
+      world_->nranks_, world_->nranks_ * local.size() * sizeof(double));
+  auto all = exchange_all(std::move(b), cost);
+  std::vector<double> out;
+  for (const auto& blob : all) {
+    const double* v = reinterpret_cast<const double*>(blob.data());
+    out.insert(out.end(), v, v + blob.size() / sizeof(double));
+  }
+  return out;
+}
+
+std::vector<long long> RankCtx::allgather(long long x) {
+  std::vector<std::byte> b(sizeof(long long));
+  std::memcpy(b.data(), &x, sizeof(long long));
+  auto all = exchange_all(
+      std::move(b),
+      world_->cost_.allgather(world_->nranks_,
+                              world_->nranks_ * sizeof(long long)));
+  std::vector<long long> out;
+  out.reserve(all.size());
+  for (const auto& blob : all) {
+    long long v;
+    std::memcpy(&v, blob.data(), sizeof(long long));
+    out.push_back(v);
+  }
+  return out;
+}
+
+SimWorld::SimWorld(int nranks, CostModel cm)
+    : mailbox_(static_cast<std::size_t>(nranks) * nranks),
+      nranks_(nranks), cost_(cm) {
+  coll_.contrib.assign(static_cast<std::size_t>(nranks), {});
+}
+
+void SimWorld::run(const std::function<void(RankCtx&)>& body) {
+  std::vector<RankCtx> ctx;
+  ctx.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) ctx.push_back(RankCtx(this, r));
+
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      // Virtual clocks charge CLOCK_THREAD_CPUTIME_ID of *this* thread; any
+      // OpenMP worker spawned inside a rank would escape the accounting, so
+      // shared-memory parallelism is disabled within simulated ranks.
+#ifdef LRA_OPENMP
+      omp_set_num_threads(1);
+#endif
+      try {
+        body(ctx[r]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  elapsed_virtual_ = 0.0;
+  kernel_max_.clear();
+  for (const auto& c : ctx) {
+    elapsed_virtual_ = std::max(elapsed_virtual_, c.vtime());
+    for (const auto& [name, secs] : c.kernel_times()) {
+      auto& slot = kernel_max_[name];
+      slot = std::max(slot, secs);
+    }
+  }
+}
+
+}  // namespace lra

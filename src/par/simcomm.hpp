@@ -1,0 +1,237 @@
+#pragma once
+// Virtual-time message-passing runtime.
+//
+// SimWorld runs an SPMD body on P ranks, each backed by a std::thread with
+// true distributed-memory semantics (ranks only exchange data through
+// messages/collectives). Every rank carries a *virtual clock*:
+//
+//   * compute sections advance it by measured per-thread CPU time
+//     (CLOCK_THREAD_CPUTIME_ID), which is immune to timesharing P simulated
+//     ranks onto a single physical core;
+//   * communication advances it per the alpha-beta CostModel (point-to-point:
+//     receiver waits for sender's send timestamp + transfer cost; collectives:
+//     all participants synchronize to max(entry clocks) + collective cost).
+//
+// This substitutes for the MPI cluster of the paper: strong-scaling curves
+// are read off the final virtual clocks. See DESIGN.md.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "par/cost_model.hpp"
+#include "support/stopwatch.hpp"
+
+namespace lra {
+
+class SimWorld;
+
+/// Per-rank execution context handed to the SPMD body.
+class RankCtx {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  double vtime() const { return vclock_; }
+  /// Add modeled seconds to this rank's virtual clock.
+  void charge(double seconds) { vclock_ += seconds; }
+
+  const CostModel& cost() const;
+
+  /// Run `f`, charging its thread-CPU time to the virtual clock.
+  template <typename F>
+  decltype(auto) compute(F&& f) {
+    const double t0 = thread_cpu_seconds();
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      vclock_ += thread_cpu_seconds() - t0;
+    } else {
+      decltype(auto) r = f();
+      vclock_ += thread_cpu_seconds() - t0;
+      return r;
+    }
+  }
+
+  /// Same, also accumulating into the named kernel timer (Figs. 5-6).
+  template <typename F>
+  decltype(auto) compute(const std::string& kernel, F&& f) {
+    const double t0 = thread_cpu_seconds();
+    if constexpr (std::is_void_v<decltype(f())>) {
+      f();
+      const double dt = thread_cpu_seconds() - t0;
+      vclock_ += dt;
+      kernel_time_[kernel] += dt;
+    } else {
+      decltype(auto) r = f();
+      const double dt = thread_cpu_seconds() - t0;
+      vclock_ += dt;
+      kernel_time_[kernel] += dt;
+      return r;
+    }
+  }
+
+  /// Charge modeled communication seconds to a named kernel as well.
+  void charge_kernel(const std::string& kernel, double seconds) {
+    vclock_ += seconds;
+    kernel_time_[kernel] += seconds;
+  }
+
+  // --- point-to-point (buffered send, blocking receive) ---
+  void send_bytes(int dst, std::vector<std::byte> data, int tag = 0);
+  std::vector<std::byte> recv_bytes(int src, int tag = 0);
+
+  template <typename T>
+  void send(int dst, const std::vector<T>& v, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> b(v.size() * sizeof(T));
+    std::memcpy(b.data(), v.data(), b.size());
+    send_bytes(dst, std::move(b), tag);
+  }
+  template <typename T>
+  std::vector<T> recv(int src, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> b = recv_bytes(src, tag);
+    std::vector<T> v(b.size() / sizeof(T));
+    std::memcpy(v.data(), b.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  // --- collectives (all ranks must call in the same order) ---
+  void barrier();
+  /// Every rank receives every rank's contribution (the primitive all other
+  /// collectives are built on). `modeled_cost` is added to the synchronized
+  /// clock; pass the op-appropriate CostModel term.
+  std::vector<std::vector<std::byte>> exchange_all(
+      std::vector<std::byte> contribution, double modeled_cost);
+
+  void bcast_bytes(std::vector<std::byte>& buf, int root);
+  std::vector<double> allreduce_sum(std::vector<double> local);
+  double allreduce_sum(double x);
+  double allreduce_max(double x);
+  long long allreduce_max(long long x);
+  /// Concatenation of all ranks' vectors in rank order.
+  std::vector<double> allgatherv(const std::vector<double>& local);
+  std::vector<long long> allgather(long long x);
+
+  /// Per-kernel accumulated seconds on this rank.
+  const std::map<std::string, double>& kernel_times() const {
+    return kernel_time_;
+  }
+
+ private:
+  friend class SimWorld;
+  RankCtx(SimWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  SimWorld* world_;
+  int rank_;
+  double vclock_ = 0.0;
+  std::map<std::string, double> kernel_time_;
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(int nranks, CostModel cm = {});
+
+  /// Execute the SPMD body on all ranks; returns when every rank finished.
+  /// Exceptions thrown by any rank are rethrown here (first one wins).
+  void run(const std::function<void(RankCtx&)>& body);
+
+  int size() const { return nranks_; }
+  const CostModel& cost_model() const { return cost_; }
+
+  /// Max over ranks of the final virtual clock (the "parallel runtime").
+  double elapsed_virtual() const { return elapsed_virtual_; }
+  /// Per-kernel max-over-ranks accumulated time, as plotted in Figs. 5-6.
+  const std::map<std::string, double>& kernel_times_max() const {
+    return kernel_max_;
+  }
+
+ private:
+  friend class RankCtx;
+
+  struct Message {
+    int tag;
+    std::vector<std::byte> data;
+    double arrival_vtime;  // sender's clock at send + transfer cost
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> per_src_queue;  // indexed externally by (src)
+  };
+  // mailbox_[dst * nranks + src]
+  std::vector<Mailbox> mailbox_;
+
+  struct CollectiveCtx {
+    std::mutex mu;
+    std::condition_variable cv;
+    long generation = 0;
+    int arrived = 0;
+    double vt_max = 0.0;
+    std::vector<std::vector<std::byte>> contrib;
+    std::vector<std::vector<std::byte>> result;  // snapshot for readers
+    double vt_out = 0.0;
+    double cost_max = 0.0;
+  } coll_;
+
+  int nranks_;
+  CostModel cost_;
+  double elapsed_virtual_ = 0.0;
+  std::map<std::string, double> kernel_max_;
+};
+
+// --- byte packing helpers for heterogeneous payloads ---
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    const std::size_t off = buf_.size();
+    buf_.resize(off + v.size() * sizeof(T));
+    std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+  }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::byte>& b) : buf_(b) {}
+  template <typename T>
+  T get() {
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> get_vec() {
+    const auto n = get<std::uint64_t>();
+    std::vector<T> v(n);
+    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lra

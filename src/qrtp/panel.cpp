@@ -1,0 +1,80 @@
+#include "qrtp/panel.hpp"
+
+#include <cassert>
+
+#include "dense/qrcp.hpp"
+#include "sparse/ops.hpp"
+
+namespace lra {
+
+std::vector<Index> select_k(const CandidateColumns& cand, Index k) {
+  const Index ncand = cand.cols.cols();
+  if (ncand <= k) return cand.global_index;
+
+  const std::vector<Index> live_rows = cand.cols.nonempty_rows();
+  if (live_rows.empty()) {
+    // All-zero candidates: any k will do; keep the leftmost for determinism.
+    return {cand.global_index.begin(), cand.global_index.begin() + k};
+  }
+  const Matrix panel = dense_row_subset(cand.cols, live_rows);
+  QRCP f(panel, k);
+  std::vector<Index> winners;
+  winners.reserve(static_cast<std::size_t>(k));
+  for (Index j = 0; j < k; ++j) winners.push_back(cand.global_index[f.perm()[j]]);
+  return winners;
+}
+
+std::vector<Index> select_k_dense(const Matrix& a,
+                                  std::span<const Index> global_index,
+                                  Index k) {
+  assert(a.cols() == static_cast<Index>(global_index.size()));
+  if (a.cols() <= k) return {global_index.begin(), global_index.end()};
+  QRCP f(a, k);
+  std::vector<Index> winners;
+  winners.reserve(static_cast<std::size_t>(k));
+  for (Index j = 0; j < k; ++j) winners.push_back(global_index[f.perm()[j]]);
+  return winners;
+}
+
+std::vector<std::byte> pack_candidates(const CandidateColumns& cand) {
+  ByteWriter w;
+  w.put<std::int64_t>(cand.cols.rows());
+  w.put_vec(cand.global_index);
+  w.put_vec(cand.cols.colptr());
+  w.put_vec(cand.cols.rowind());
+  w.put_vec(cand.cols.values());
+  return w.take();
+}
+
+CandidateColumns unpack_candidates(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  const Index rows = r.get<std::int64_t>();
+  CandidateColumns cand;
+  cand.global_index = r.get_vec<Index>();
+  auto colptr = r.get_vec<Index>();
+  auto rowind = r.get_vec<Index>();
+  auto values = r.get_vec<double>();
+  cand.cols = CscMatrix(rows, static_cast<Index>(cand.global_index.size()),
+                        std::move(colptr), std::move(rowind), std::move(values));
+  return cand;
+}
+
+CandidateColumns merge(const CandidateColumns& a, const CandidateColumns& b) {
+  CandidateColumns out;
+  out.global_index = a.global_index;
+  out.global_index.insert(out.global_index.end(), b.global_index.begin(),
+                          b.global_index.end());
+  out.cols = a.cols.hcat(b.cols);
+  return out;
+}
+
+CandidateColumns make_candidates(const CscMatrix& a,
+                                 std::span<const Index> global_ids) {
+  // Here `a` is indexed directly by global column id.
+  CandidateColumns cand;
+  cand.global_index.assign(global_ids.begin(), global_ids.end());
+  cand.cols = a.select_columns(global_ids);
+  return cand;
+}
+
+}  // namespace lra

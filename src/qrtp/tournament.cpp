@@ -1,0 +1,98 @@
+#include "qrtp/tournament.hpp"
+
+#include <numeric>
+
+#include "qrtp/panel.hpp"
+
+namespace lra {
+
+std::vector<Index> qr_tp_select(const CscMatrix& a,
+                                std::span<const Index> active_cols, Index k) {
+  // Leaves: blocks of 2k candidate columns, each reduced to k winners.
+  std::vector<std::vector<Index>> level;
+  const Index ncand = static_cast<Index>(active_cols.size());
+  for (Index j0 = 0; j0 < ncand; j0 += 2 * k) {
+    const Index j1 = std::min(j0 + 2 * k, ncand);
+    const CandidateColumns cand =
+        make_candidates(a, active_cols.subspan(j0, j1 - j0));
+    level.push_back(select_k(cand, k));
+  }
+  if (level.empty()) return {};
+
+  // Internal binary tree.
+  while (level.size() > 1) {
+    std::vector<std::vector<Index>> next;
+    for (std::size_t b = 0; b < level.size(); b += 2) {
+      if (b + 1 == level.size()) {
+        next.push_back(std::move(level[b]));
+        continue;
+      }
+      std::vector<Index> ids = std::move(level[b]);
+      ids.insert(ids.end(), level[b + 1].begin(), level[b + 1].end());
+      next.push_back(select_k(make_candidates(a, ids), k));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+std::vector<Index> qr_tp_select(const CscMatrix& a, Index k) {
+  std::vector<Index> all(static_cast<std::size_t>(a.cols()));
+  std::iota(all.begin(), all.end(), Index{0});
+  return qr_tp_select(a, all, k);
+}
+
+std::vector<Index> qr_tp_select_rows(const Matrix& q,
+                                     std::span<const Index> global_rows,
+                                     Index k) {
+  // Column tournament on q^T: candidates are rows of q, each of length k.
+  const Index m = q.rows();
+  auto block_transposed = [&](Index r0, Index r1) {
+    Matrix t(q.cols(), r1 - r0);
+    for (Index i = r0; i < r1; ++i)
+      for (Index j = 0; j < q.cols(); ++j) t(j, i - r0) = q(i, j);
+    return t;
+  };
+
+  struct Node {
+    std::vector<Index> pos;  // positions into q's rows
+  };
+  std::vector<Node> level;
+  for (Index r0 = 0; r0 < m; r0 += 2 * k) {
+    const Index r1 = std::min(r0 + 2 * k, m);
+    std::vector<Index> pos(static_cast<std::size_t>(r1 - r0));
+    std::iota(pos.begin(), pos.end(), r0);
+    const std::vector<Index> win =
+        select_k_dense(block_transposed(r0, r1), pos, k);
+    level.push_back(Node{win});
+  }
+  if (level.empty()) return {};
+
+  auto gather_transposed = [&](std::span<const Index> pos) {
+    Matrix t(q.cols(), static_cast<Index>(pos.size()));
+    for (std::size_t c = 0; c < pos.size(); ++c)
+      for (Index j = 0; j < q.cols(); ++j) t(j, static_cast<Index>(c)) = q(pos[c], j);
+    return t;
+  };
+
+  while (level.size() > 1) {
+    std::vector<Node> next;
+    for (std::size_t b = 0; b < level.size(); b += 2) {
+      if (b + 1 == level.size()) {
+        next.push_back(std::move(level[b]));
+        continue;
+      }
+      std::vector<Index> pos = std::move(level[b].pos);
+      pos.insert(pos.end(), level[b + 1].pos.begin(), level[b + 1].pos.end());
+      next.push_back(Node{select_k_dense(gather_transposed(pos), pos, k)});
+    }
+    level = std::move(next);
+  }
+
+  std::vector<Index> out;
+  out.reserve(level.front().pos.size());
+  for (Index p : level.front().pos) out.push_back(global_rows[p]);
+  return out;
+}
+
+}  // namespace lra

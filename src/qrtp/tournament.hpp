@@ -1,0 +1,31 @@
+#pragma once
+// Sequential QR_TP: rank-revealing column selection by a reduction tree of
+// panel QRCPs (Section II-B and V of the paper). The binary tree processes
+// blocks of 2k columns at the leaves; each internal node plays off the 2k
+// winners of its children.
+
+#include <span>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// Select the k "most linearly independent" columns of sparse `a`, restricted
+/// to the candidate set `active_cols` (global column ids). Returns <= k
+/// winners in tournament order.
+std::vector<Index> qr_tp_select(const CscMatrix& a,
+                                std::span<const Index> active_cols, Index k);
+
+/// All columns active.
+std::vector<Index> qr_tp_select(const CscMatrix& a, Index k);
+
+/// Row tournament: select the k most linearly independent *rows* of the dense
+/// matrix q (m x k), i.e. a column tournament on q^T. `global_rows[i]` is the
+/// global id of row i. Returns <= k winning global row ids.
+std::vector<Index> qr_tp_select_rows(const Matrix& q,
+                                     std::span<const Index> global_rows,
+                                     Index k);
+
+}  // namespace lra

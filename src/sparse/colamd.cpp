@@ -1,0 +1,107 @@
+#include "sparse/colamd.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "sparse/etree.hpp"
+
+namespace lra {
+namespace {
+
+struct HeapEntry {
+  Index score;
+  Index col;
+  Index stamp;  // invalidates stale heap entries
+  bool operator>(const HeapEntry& o) const {
+    if (score != o.score) return score > o.score;
+    return col > o.col;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+Perm colamd_order(const CscMatrix& a) {
+  const Index n = a.cols();
+  // Row and column adjacency, mutable during elimination. Pivot rows created
+  // by elimination are appended after the original rows.
+  std::vector<std::vector<Index>> row2col(static_cast<std::size_t>(a.rows()));
+  std::vector<std::vector<Index>> col2row(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j)
+    for (Index r : a.col_rows(j)) {
+      row2col[r].push_back(j);
+      col2row[j].push_back(r);
+    }
+  std::vector<char> row_alive(row2col.size(), 1);
+  std::vector<char> col_done(static_cast<std::size_t>(n), 0);
+  std::vector<Index> stamp(static_cast<std::size_t>(n), 0);
+
+  // Approximate external degree: sum over alive rows of (row length - 1).
+  // This is COLAMD's upper bound on |Adj(j)| in the quotient graph.
+  auto score_of = [&](Index j) {
+    Index s = 0;
+    auto& rows = col2row[j];
+    std::size_t w = 0;
+    for (Index r : rows) {
+      if (!row_alive[r]) continue;
+      rows[w++] = r;
+      s += static_cast<Index>(row2col[r].size()) - 1;
+    }
+    rows.resize(w);
+    return s;
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (Index j = 0; j < n; ++j) heap.push({score_of(j), j, 0});
+
+  Perm order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> in_pivot(static_cast<std::size_t>(n), 0);
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const Index j = top.col;
+    if (col_done[j] || top.stamp != stamp[j]) continue;
+    col_done[j] = 1;
+    order.push_back(j);
+
+    // Form the pivot row: union of the columns of all rows incident to j,
+    // excluding eliminated columns; absorb (kill) those rows.
+    std::vector<Index> pivot_cols;
+    for (Index r : col2row[j]) {
+      if (!row_alive[r]) continue;
+      row_alive[r] = 0;
+      for (Index c : row2col[r]) {
+        if (col_done[c] || in_pivot[c]) continue;
+        in_pivot[c] = 1;
+        pivot_cols.push_back(c);
+      }
+      row2col[r].clear();
+      row2col[r].shrink_to_fit();
+    }
+    col2row[j].clear();
+    col2row[j].shrink_to_fit();
+    if (pivot_cols.empty()) continue;
+
+    const Index pr = static_cast<Index>(row2col.size());
+    row2col.push_back(pivot_cols);
+    row_alive.push_back(1);
+    for (Index c : pivot_cols) {
+      in_pivot[c] = 0;
+      col2row[c].push_back(pr);
+      ++stamp[c];
+      heap.push({score_of(c), c, stamp[c]});
+    }
+  }
+  return order;
+}
+
+Perm colamd_postordered(const CscMatrix& a) {
+  const Perm ord = colamd_order(a);
+  const CscMatrix reord = permute_columns(a, ord);
+  const Perm post = etree_postorder(column_etree(reord));
+  return compose(ord, post);
+}
+
+}  // namespace lra

@@ -1,0 +1,20 @@
+#pragma once
+// Column approximate minimum degree ordering (COLAMD-style, Davis et al.).
+// Greedy minimum-degree elimination on the column intersection graph of
+// A^T A performed symbolically on A itself via row merging. This
+// implementation keeps the core COLAMD mechanics (pivot-row formation, row
+// absorption, approximate external degrees) and omits supercolumn detection.
+
+#include "sparse/csc.hpp"
+#include "sparse/permute.hpp"
+
+namespace lra {
+
+/// Fill-reducing column ordering: result[new] = old column.
+Perm colamd_order(const CscMatrix& a);
+
+/// The preprocessing used by LU_CRTP in the paper: COLAMD, then a postorder
+/// traversal of the column elimination tree of the reordered matrix.
+Perm colamd_postordered(const CscMatrix& a);
+
+}  // namespace lra

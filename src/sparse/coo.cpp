@@ -1,0 +1,53 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lra {
+
+void CooBuilder::add(Index i, Index j, double v) {
+  assert(0 <= i && i < rows_ && 0 <= j && j < cols_);
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+void CooBuilder::reserve(std::size_t n) {
+  is_.reserve(n);
+  js_.reserve(n);
+  vs_.reserve(n);
+}
+
+CscMatrix CooBuilder::build() const {
+  std::vector<std::size_t> order(is_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (js_[a] != js_[b]) return js_[a] < js_[b];
+    return is_[a] < is_[b];
+  });
+
+  std::vector<Index> colptr(static_cast<std::size_t>(cols_) + 1, 0);
+  std::vector<Index> rowind;
+  std::vector<double> values;
+  rowind.reserve(order.size());
+  values.reserve(order.size());
+
+  for (std::size_t t = 0; t < order.size();) {
+    const Index j = js_[order[t]];
+    const Index i = is_[order[t]];
+    double sum = 0.0;
+    while (t < order.size() && js_[order[t]] == j && is_[order[t]] == i)
+      sum += vs_[order[t++]];
+    if (sum != 0.0) {
+      rowind.push_back(i);
+      values.push_back(sum);
+      ++colptr[j + 1];
+    }
+  }
+  for (Index j = 0; j < cols_; ++j) colptr[j + 1] += colptr[j];
+  return CscMatrix(rows_, cols_, std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+}  // namespace lra

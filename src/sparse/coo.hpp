@@ -1,0 +1,31 @@
+#pragma once
+// Triplet (COO) accumulator for assembling sparse matrices. Duplicate
+// entries are summed on build, matching Matrix Market semantics.
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+class CooBuilder {
+ public:
+  CooBuilder(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+  void add(Index i, Index j, double v);
+  void reserve(std::size_t n);
+  std::size_t entries() const { return is_.size(); }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  /// Sort, sum duplicates, drop exact zeros, and emit CSC.
+  CscMatrix build() const;
+
+ private:
+  Index rows_, cols_;
+  std::vector<Index> is_, js_;
+  std::vector<double> vs_;
+};
+
+}  // namespace lra

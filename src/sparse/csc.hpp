@@ -1,0 +1,89 @@
+#pragma once
+// Compressed sparse column matrix — the central sparse container. Row indices
+// within each column are kept sorted; explicit zeros are allowed but the
+// canonicalizing constructors remove them.
+
+#include <span>
+#include <vector>
+
+#include "dense/matrix.hpp"
+
+namespace lra {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+  /// Empty (all-zero) matrix of the given shape.
+  CscMatrix(Index rows, Index cols);
+  /// From raw CSC arrays (must be well-formed; rows sorted per column).
+  CscMatrix(Index rows, Index cols, std::vector<Index> colptr,
+            std::vector<Index> rowind, std::vector<double> values);
+
+  static CscMatrix from_dense(const Matrix& a, double drop_tol = 0.0);
+  Matrix to_dense() const;
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Index nnz() const noexcept { return static_cast<Index>(rowind_.size()); }
+  double density() const noexcept {
+    return rows_ == 0 || cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows_) * static_cast<double>(cols_));
+  }
+
+  const std::vector<Index>& colptr() const noexcept { return colptr_; }
+  const std::vector<Index>& rowind() const noexcept { return rowind_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::vector<double>& values() noexcept { return values_; }
+
+  /// Row indices / values of column j as spans.
+  std::span<const Index> col_rows(Index j) const noexcept {
+    return {rowind_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+  std::span<const double> col_values(Index j) const noexcept {
+    return {values_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+  Index col_nnz(Index j) const noexcept { return colptr_[j + 1] - colptr_[j]; }
+
+  /// Element lookup by binary search (O(log nnz(col))).
+  double coeff(Index i, Index j) const noexcept;
+
+  CscMatrix transposed() const;
+
+  /// Columns `cols[0..]` of this matrix, in that order.
+  CscMatrix select_columns(std::span<const Index> cols) const;
+  /// Submatrix with rows in [r0, r1) and columns in [c0, c1), reindexed.
+  CscMatrix block(Index r0, Index r1, Index c0, Index c1) const;
+
+  /// Horizontal concatenation [this, b].
+  CscMatrix hcat(const CscMatrix& b) const;
+  /// Vertical concatenation [this; b].
+  CscMatrix vcat(const CscMatrix& b) const;
+
+  double frobenius_norm() const noexcept;
+  double frobenius_norm_sq() const noexcept;
+  double max_abs() const noexcept;
+
+  /// Per-column Euclidean norms.
+  std::vector<double> column_norms() const;
+
+  /// Number of structurally non-empty rows, and the list of such rows (sorted).
+  std::vector<Index> nonempty_rows() const;
+
+  /// Remove stored entries with |value| <= tol (exact zeros when tol = 0).
+  void prune(double tol = 0.0);
+
+  bool structurally_valid() const;  // invariant checker for tests
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> colptr_{0};
+  std::vector<Index> rowind_;
+  std::vector<double> values_;
+};
+
+}  // namespace lra

@@ -1,0 +1,164 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lra {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      rowptr_(static_cast<std::size_t>(rows) + 1, 0) {}
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> rowptr,
+                     std::vector<Index> colind, std::vector<double> values)
+    : rows_(rows), cols_(cols), rowptr_(std::move(rowptr)),
+      colind_(std::move(colind)), values_(std::move(values)) {
+  assert(structurally_valid());
+}
+
+CsrMatrix CsrMatrix::from_csc(const CscMatrix& a) {
+  std::vector<Index> rowptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  for (Index r : a.rowind()) ++rowptr[r + 1];
+  for (Index i = 0; i < a.rows(); ++i) rowptr[i + 1] += rowptr[i];
+  std::vector<Index> colind(static_cast<std::size_t>(a.nnz()));
+  std::vector<double> values(static_cast<std::size_t>(a.nnz()));
+  std::vector<Index> next(rowptr.begin(), rowptr.end() - 1);
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const Index q = next[rows[p]]++;
+      colind[q] = j;
+      values[q] = vals[p];
+    }
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+CscMatrix CsrMatrix::to_csc() const {
+  // A CSR matrix is the CSC of its transpose; transpose twice via the same
+  // counting sort.
+  std::vector<Index> colptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (Index c : colind_) ++colptr[c + 1];
+  for (Index j = 0; j < cols_; ++j) colptr[j + 1] += colptr[j];
+  std::vector<Index> rowind(colind_.size());
+  std::vector<double> values(values_.size());
+  std::vector<Index> next(colptr.begin(), colptr.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
+      const Index q = next[colind_[p]]++;
+      rowind[q] = i;
+      values[q] = values_[p];
+    }
+  }
+  return CscMatrix(rows_, cols_, std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix a(rows_, cols_);
+  for (Index i = 0; i < rows_; ++i)
+    for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p)
+      a(i, colind_[p]) += values_[p];
+  return a;
+}
+
+double CsrMatrix::coeff(Index i, Index j) const noexcept {
+  const Index lo = rowptr_[i], hi = rowptr_[i + 1];
+  const auto* first = colind_.data() + lo;
+  const auto* last = colind_.data() + hi;
+  const auto* it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return 0.0;
+  return values_[lo + (it - first)];
+}
+
+CsrMatrix CsrMatrix::row_slice(Index r0, Index r1) const {
+  assert(0 <= r0 && r0 <= r1 && r1 <= rows_);
+  std::vector<Index> rowptr(static_cast<std::size_t>(r1 - r0) + 1, 0);
+  const Index base = rowptr_[r0];
+  for (Index i = r0; i <= r1; ++i)
+    if (i > r0) rowptr[i - r0] = rowptr_[i] - base;
+  rowptr[r1 - r0] = rowptr_[r1] - base;
+  std::vector<Index> colind(colind_.begin() + base,
+                            colind_.begin() + rowptr_[r1]);
+  std::vector<double> values(values_.begin() + base,
+                             values_.begin() + rowptr_[r1]);
+  return CsrMatrix(r1 - r0, cols_, std::move(rowptr), std::move(colind),
+                   std::move(values));
+}
+
+std::vector<double> CsrMatrix::row_norms() const {
+  std::vector<double> out(static_cast<std::size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (double v : row_values(i)) s += v * v;
+    out[i] = std::sqrt(s);
+  }
+  return out;
+}
+
+void CsrMatrix::scale_rows(std::span<const double> s) {
+  assert(static_cast<Index>(s.size()) == rows_);
+  for (Index i = 0; i < rows_; ++i)
+    for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) values_[p] *= s[i];
+}
+
+bool CsrMatrix::structurally_valid() const {
+  if (static_cast<Index>(rowptr_.size()) != rows_ + 1) return false;
+  if (rowptr_.front() != 0 || rowptr_.back() != nnz()) return false;
+  if (colind_.size() != values_.size()) return false;
+  for (Index i = 0; i < rows_; ++i) {
+    if (rowptr_[i] > rowptr_[i + 1]) return false;
+    for (Index p = rowptr_[i]; p < rowptr_[i + 1]; ++p) {
+      if (colind_[p] < 0 || colind_[p] >= cols_) return false;
+      if (p > rowptr_[i] && colind_[p - 1] >= colind_[p]) return false;
+    }
+  }
+  return true;
+}
+
+void spmv(const CsrMatrix& a, const double* x, double* y) {
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    double s = 0.0;
+    for (std::size_t p = 0; p < cols.size(); ++p) s += vals[p] * x[cols[p]];
+    y[i] = s;
+  }
+}
+
+Matrix spmm(const CsrMatrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (Index j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      const double* bj = b.col(j);
+      for (std::size_t p = 0; p < cols.size(); ++p) s += vals[p] * bj[cols[p]];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix spmm_t(const CsrMatrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (Index j = 0; j < b.cols(); ++j) {
+      const double w = b(i, j);
+      if (w == 0.0) continue;
+      double* cj = c.col(j);
+      for (std::size_t p = 0; p < cols.size(); ++p) cj[cols[p]] += vals[p] * w;
+    }
+  }
+  return c;
+}
+
+}  // namespace lra

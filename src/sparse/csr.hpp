@@ -1,0 +1,72 @@
+#pragma once
+// Compressed sparse row matrix. The row-major dual of CscMatrix: the natural
+// layout for the 1D row distributions used by the distributed RandQB_EI
+// (each rank owns a contiguous row slice) and for row-wise kernels
+// (SpMV from the row side, row extraction, row scaling).
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(Index rows, Index cols);
+  CsrMatrix(Index rows, Index cols, std::vector<Index> rowptr,
+            std::vector<Index> colind, std::vector<double> values);
+
+  static CsrMatrix from_csc(const CscMatrix& a);
+  CscMatrix to_csc() const;
+  Matrix to_dense() const;
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Index nnz() const noexcept { return static_cast<Index>(colind_.size()); }
+
+  const std::vector<Index>& rowptr() const noexcept { return rowptr_; }
+  const std::vector<Index>& colind() const noexcept { return colind_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  std::span<const Index> row_cols(Index i) const noexcept {
+    return {colind_.data() + rowptr_[i],
+            static_cast<std::size_t>(rowptr_[i + 1] - rowptr_[i])};
+  }
+  std::span<const double> row_values(Index i) const noexcept {
+    return {values_.data() + rowptr_[i],
+            static_cast<std::size_t>(rowptr_[i + 1] - rowptr_[i])};
+  }
+  Index row_nnz(Index i) const noexcept { return rowptr_[i + 1] - rowptr_[i]; }
+
+  double coeff(Index i, Index j) const noexcept;
+
+  /// Rows [r0, r1), reindexed to a fresh matrix (contiguous row slice — the
+  /// distributed partitioning primitive).
+  CsrMatrix row_slice(Index r0, Index r1) const;
+
+  /// Per-row Euclidean norms.
+  std::vector<double> row_norms() const;
+
+  /// Scale row i by s[i] in place.
+  void scale_rows(std::span<const double> s);
+
+  bool structurally_valid() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> rowptr_{0};
+  std::vector<Index> colind_;
+  std::vector<double> values_;
+};
+
+/// y = A x using the row layout (no atomics needed; one dot per row).
+void spmv(const CsrMatrix& a, const double* x, double* y);
+/// C = A * B with dense B.
+Matrix spmm(const CsrMatrix& a, const Matrix& b);
+/// C = A^T * B with dense B.
+Matrix spmm_t(const CsrMatrix& a, const Matrix& b);
+
+}  // namespace lra

@@ -1,0 +1,63 @@
+#include "sparse/etree.hpp"
+
+#include <cassert>
+
+namespace lra {
+
+std::vector<Index> column_etree(const CscMatrix& a) {
+  // Liu's algorithm in the A^T A variant (CSparse cs_etree lineage): `prev`
+  // maps each row to the last column in which it appeared, so paths through
+  // rows connect columns sharing a row.
+  const Index n = a.cols();
+  std::vector<Index> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Index> ancestor(static_cast<std::size_t>(n), -1);
+  std::vector<Index> prev(static_cast<std::size_t>(a.rows()), -1);
+  for (Index k = 0; k < n; ++k) {
+    for (Index r : a.col_rows(k)) {
+      Index i = prev[r];
+      while (i != -1 && i < k) {
+        const Index inext = ancestor[i];
+        ancestor[i] = k;
+        if (inext == -1) parent[i] = k;
+        i = inext;
+      }
+      prev[r] = k;
+    }
+  }
+  return parent;
+}
+
+Perm etree_postorder(const std::vector<Index>& parent) {
+  const Index n = static_cast<Index>(parent.size());
+  // Build child lists (younger children first keeps the order deterministic).
+  std::vector<Index> head(static_cast<std::size_t>(n), -1);
+  std::vector<Index> next(static_cast<std::size_t>(n), -1);
+  for (Index v = n - 1; v >= 0; --v) {
+    const Index p = parent[v];
+    if (p == -1) continue;
+    next[v] = head[p];
+    head[p] = v;
+  }
+  Perm post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<Index> stack;
+  for (Index root = 0; root < n; ++root) {
+    if (parent[root] != -1) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Index v = stack.back();
+      const Index child = head[v];
+      if (child != -1) {
+        head[v] = next[child];  // consume this child
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  assert(post.size() == parent.size());
+  return post;
+}
+
+}  // namespace lra

@@ -1,0 +1,20 @@
+#pragma once
+// Column elimination tree (the elimination tree of A^T A, computed without
+// forming A^T A) and its postorder. LU_CRTP preprocesses the input with
+// COLAMD followed by a postorder traversal of this tree (paper, Section V).
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/permute.hpp"
+
+namespace lra {
+
+/// parent[j] = parent of column j in the column elimination tree (-1 = root).
+std::vector<Index> column_etree(const CscMatrix& a);
+
+/// Postorder permutation of a forest given as a parent array:
+/// result[new] = old, children visited before parents.
+Perm etree_postorder(const std::vector<Index>& parent);
+
+}  // namespace lra

@@ -1,0 +1,73 @@
+#include "sparse/io_mm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace lra {
+
+CscMatrix read_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error(path + ": empty file");
+  std::string lower = line;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower.rfind("%%matrixmarket", 0) != 0)
+    throw std::runtime_error(path + ": missing MatrixMarket banner");
+  const bool pattern = lower.find("pattern") != std::string::npos;
+  const bool symmetric = lower.find(" symmetric") != std::string::npos;
+  const bool skew = lower.find("skew-symmetric") != std::string::npos;
+  if (lower.find("coordinate") == std::string::npos)
+    throw std::runtime_error(path + ": only coordinate format is supported");
+  if (lower.find("complex") != std::string::npos)
+    throw std::runtime_error(path + ": complex matrices are not supported");
+
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream hdr(line);
+  Index m = 0, n = 0;
+  long long nz = 0;
+  hdr >> m >> n >> nz;
+  if (!hdr || m <= 0 || n <= 0 || nz < 0)
+    throw std::runtime_error(path + ": bad size line");
+
+  CooBuilder coo(m, n);
+  coo.reserve(static_cast<std::size_t>(symmetric || skew ? 2 * nz : nz));
+  for (long long t = 0; t < nz; ++t) {
+    Index i = 0, j = 0;
+    double v = 1.0;
+    if (!(is >> i >> j)) throw std::runtime_error(path + ": truncated data");
+    if (!pattern && !(is >> v))
+      throw std::runtime_error(path + ": truncated value");
+    --i;
+    --j;  // 1-based -> 0-based
+    coo.add(i, j, v);
+    if ((symmetric || skew) && i != j) coo.add(j, i, skew ? -v : v);
+  }
+  return coo.build();
+}
+
+void write_matrix_market(const CscMatrix& a, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  os.precision(17);
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      os << rows[p] + 1 << ' ' << j + 1 << ' ' << vals[p] << '\n';
+  }
+}
+
+}  // namespace lra

@@ -1,0 +1,18 @@
+#pragma once
+// Matrix Market (coordinate, real) reader/writer so real SuiteSparse matrices
+// can be plugged into every bench in place of the synthetic analogs.
+
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// Read a MatrixMarket coordinate file (real/integer/pattern, general or
+/// symmetric/skew-symmetric). Pattern entries get value 1.0.
+CscMatrix read_matrix_market(const std::string& path);
+
+/// Write in "matrix coordinate real general" format.
+void write_matrix_market(const CscMatrix& a, const std::string& path);
+
+}  // namespace lra

@@ -1,0 +1,141 @@
+#include "sparse/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#ifdef LRA_OPENMP
+#include <omp.h>
+#endif
+
+#include "dense/blas.hpp"
+
+namespace lra {
+
+void spmv(const CscMatrix& a, const double* x, double* y) {
+  for (Index i = 0; i < a.rows(); ++i) y[i] = 0.0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) y[rows[p]] += vals[p] * xj;
+  }
+}
+
+void spmv_t(const CscMatrix& a, const double* x, double* y) {
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    double s = 0.0;
+    for (std::size_t p = 0; p < rows.size(); ++p) s += vals[p] * x[rows[p]];
+    y[j] = s;
+  }
+}
+
+Matrix spmm(const CscMatrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (Index col = 0; col < b.cols(); ++col) {
+      const double w = b(j, col);
+      if (w == 0.0) continue;
+      double* cc = c.col(col);
+      for (std::size_t p = 0; p < rows.size(); ++p)
+        cc[rows[p]] += vals[p] * w;
+    }
+  }
+  return c;
+}
+
+Matrix spmm_t(const CscMatrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  // Each output column depends on one column of b only: embarrassingly
+  // parallel with bitwise-identical results per column.
+#ifdef LRA_OPENMP
+#pragma omp parallel for schedule(static) if (b.cols() > 4)
+#endif
+  for (Index col = 0; col < b.cols(); ++col) {
+    const double* bc = b.col(col);
+    double* cc = c.col(col);
+    for (Index j = 0; j < a.cols(); ++j) {
+      const auto rows = a.col_rows(j);
+      const auto vals = a.col_values(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < rows.size(); ++p) s += vals[p] * bc[rows[p]];
+      cc[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix dense_times_csc(const Matrix& b, const CscMatrix& a) {
+  assert(b.cols() == a.rows());
+  Matrix c(b.rows(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    double* cj = c.col(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const double w = vals[p];
+      const double* bk = b.col(rows[p]);
+      for (Index i = 0; i < b.rows(); ++i) cj[i] += w * bk[i];
+    }
+  }
+  return c;
+}
+
+double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w) {
+  assert(a.rows() == h.rows() && a.cols() == w.cols() &&
+         h.cols() == w.rows());
+  const Index block = std::max<Index>(1, 1 << 20 / std::max<Index>(1, a.rows()));
+  double sum = 0.0;
+  std::vector<double> colbuf(static_cast<std::size_t>(a.rows()));
+  for (Index j0 = 0; j0 < a.cols(); j0 += block) {
+    const Index j1 = std::min(j0 + block, a.cols());
+    for (Index j = j0; j < j1; ++j) {
+      // colbuf = H * W(:, j)
+      gemv(colbuf.data(), h, w.col(j));
+      const auto rows = a.col_rows(j);
+      const auto vals = a.col_values(j);
+      for (std::size_t p = 0; p < rows.size(); ++p)
+        colbuf[rows[p]] -= vals[p];
+      for (Index i = 0; i < a.rows(); ++i) sum += colbuf[i] * colbuf[i];
+    }
+  }
+  return std::sqrt(sum);
+}
+
+Matrix dense_columns(const CscMatrix& a, Index j0, Index j1) {
+  assert(0 <= j0 && j0 <= j1 && j1 <= a.cols());
+  Matrix c(a.rows(), j1 - j0);
+  for (Index j = j0; j < j1; ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    double* cj = c.col(j - j0);
+    for (std::size_t p = 0; p < rows.size(); ++p) cj[rows[p]] = vals[p];
+  }
+  return c;
+}
+
+Matrix dense_row_subset(const CscMatrix& a, std::span<const Index> rows) {
+  // Map global row -> compressed position.
+  std::vector<Index> pos(static_cast<std::size_t>(a.rows()), -1);
+  for (std::size_t r = 0; r < rows.size(); ++r) pos[rows[r]] = static_cast<Index>(r);
+  Matrix c(static_cast<Index>(rows.size()), a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rr = a.col_rows(j);
+    const auto vv = a.col_values(j);
+    double* cj = c.col(j);
+    for (std::size_t p = 0; p < rr.size(); ++p) {
+      const Index q = pos[rr[p]];
+      if (q >= 0) cj[q] = vv[p];
+    }
+  }
+  return c;
+}
+
+}  // namespace lra

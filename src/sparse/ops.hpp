@@ -1,0 +1,33 @@
+#pragma once
+// Sparse-dense kernels: SpMV, SpMM and their transposes — the workhorses of
+// RandQB_EI (A*Omega, A^T*Q) and of residual checks in tests.
+
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// y = A x (y has A.rows()).
+void spmv(const CscMatrix& a, const double* x, double* y);
+/// y = A^T x (y has A.cols()).
+void spmv_t(const CscMatrix& a, const double* x, double* y);
+
+/// C = A * B with dense B (C fresh, A.rows() x B.cols()).
+Matrix spmm(const CscMatrix& a, const Matrix& b);
+/// C = A^T * B with dense B (C fresh, A.cols() x B.cols()).
+Matrix spmm_t(const CscMatrix& a, const Matrix& b);
+/// C = B * A with dense B (C fresh, B.rows() x A.cols()).
+Matrix dense_times_csc(const Matrix& b, const CscMatrix& a);
+
+/// Dense residual ||A - H W||_F without materializing H W when A is sparse:
+/// computed column-block-wise. H is m x K, W is K x n.
+double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w);
+
+/// Columns [j0, j1) of A as a dense matrix.
+Matrix dense_columns(const CscMatrix& a, Index j0, Index j1);
+
+/// A as dense restricted to the given (sorted) row subset: result is
+/// rows.size() x A.cols().
+Matrix dense_row_subset(const CscMatrix& a, std::span<const Index> rows);
+
+}  // namespace lra

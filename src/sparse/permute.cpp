@@ -1,0 +1,85 @@
+#include "sparse/permute.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace lra {
+
+Perm identity_perm(Index n) {
+  Perm p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), Index{0});
+  return p;
+}
+
+Perm compose(const Perm& before, const Perm& after) {
+  assert(before.size() == after.size());
+  Perm out(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) out[i] = before[after[i]];
+  return out;
+}
+
+Perm invert(const Perm& p) {
+  Perm out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) out[p[i]] = static_cast<Index>(i);
+  return out;
+}
+
+bool is_permutation(const Perm& p) {
+  std::vector<char> seen(p.size(), 0);
+  for (Index v : p) {
+    if (v < 0 || v >= static_cast<Index>(p.size()) || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+CscMatrix permute_columns(const CscMatrix& a, const Perm& p) {
+  assert(static_cast<Index>(p.size()) == a.cols());
+  return a.select_columns(p);
+}
+
+CscMatrix permute_rows(const CscMatrix& a, const Perm& p) {
+  return permute(a, p, identity_perm(a.cols()));
+}
+
+CscMatrix permute(const CscMatrix& a, const Perm& row_p, const Perm& col_p) {
+  assert(static_cast<Index>(row_p.size()) == a.rows());
+  assert(static_cast<Index>(col_p.size()) == a.cols());
+  const Perm row_inv = invert(row_p);  // old row -> new row
+  std::vector<Index> colptr(static_cast<std::size_t>(a.cols()) + 1, 0);
+  std::vector<Index> rowind;
+  std::vector<double> values;
+  rowind.reserve(static_cast<std::size_t>(a.nnz()));
+  values.reserve(static_cast<std::size_t>(a.nnz()));
+  std::vector<std::pair<Index, double>> buf;
+  for (Index j = 0; j < a.cols(); ++j) {
+    const Index src = col_p[j];
+    const auto rows = a.col_rows(src);
+    const auto vals = a.col_values(src);
+    buf.clear();
+    for (std::size_t q = 0; q < rows.size(); ++q)
+      buf.emplace_back(row_inv[rows[q]], vals[q]);
+    std::sort(buf.begin(), buf.end());
+    for (const auto& [i, v] : buf) {
+      rowind.push_back(i);
+      values.push_back(v);
+    }
+    colptr[j + 1] = static_cast<Index>(rowind.size());
+  }
+  return CscMatrix(a.rows(), a.cols(), std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+Matrix permute_rows(const Matrix& a, const Perm& p) {
+  assert(static_cast<Index>(p.size()) == a.rows());
+  Matrix b(a.rows(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    const double* src = a.col(j);
+    double* dst = b.col(j);
+    for (Index i = 0; i < a.rows(); ++i) dst[i] = src[p[i]];
+  }
+  return b;
+}
+
+}  // namespace lra

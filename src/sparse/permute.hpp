@@ -1,0 +1,32 @@
+#pragma once
+// Permutation utilities. A permutation `p` is stored as a vector where
+// p[new_position] = old_position, matching CscMatrix::select_columns and the
+// paper's P_r A P_c convention (row permutation applied the same way on rows).
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+using Perm = std::vector<Index>;
+
+Perm identity_perm(Index n);
+/// q such that applying q after p equals `then_after(before)`:
+/// result[i] = before[after[i]].
+Perm compose(const Perm& before, const Perm& after);
+Perm invert(const Perm& p);
+bool is_permutation(const Perm& p);
+
+/// B(:, j) = A(:, p[j]).
+CscMatrix permute_columns(const CscMatrix& a, const Perm& p);
+/// B(i, :) = A(p[i], :).
+CscMatrix permute_rows(const CscMatrix& a, const Perm& p);
+/// Both at once (cheaper than two passes).
+CscMatrix permute(const CscMatrix& a, const Perm& row_p, const Perm& col_p);
+
+/// Dense analog: B(i, :) = A(p[i], :).
+Matrix permute_rows(const Matrix& a, const Perm& p);
+
+}  // namespace lra

@@ -1,0 +1,22 @@
+#pragma once
+// Sparse x sparse products and sums (Gustavson's algorithm, column-wise for
+// CSC). The Schur-complement update of LU_CRTP is built from these.
+
+#include "sparse/csc.hpp"
+
+namespace lra {
+
+/// C = A * B (both sparse).
+CscMatrix spgemm(const CscMatrix& a, const CscMatrix& b);
+
+/// C = alpha * A + beta * B (shapes must match).
+CscMatrix spadd(const CscMatrix& a, const CscMatrix& b, double alpha = 1.0,
+                double beta = 1.0);
+
+/// C = A - L * U where L (m x k) and U (k x n) are sparse — the fused
+/// Schur-complement kernel. Equivalent to spadd(a, spgemm(l, u), 1, -1) but
+/// with a single accumulation pass per column.
+CscMatrix schur_update(const CscMatrix& a, const CscMatrix& l,
+                       const CscMatrix& u);
+
+}  // namespace lra

@@ -1,0 +1,86 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lra {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(s.substr(pos));
+      break;
+    }
+    out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& dflt) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+long long Cli::get_int(const std::string& name, long long dflt) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? dflt : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double dflt) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? dflt : std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool dflt) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<long long> Cli::get_int_list(const std::string& name,
+                                         std::vector<long long> dflt) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  std::vector<long long> out;
+  for (const auto& tok : split(it->second, ','))
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+  return out;
+}
+
+std::vector<double> Cli::get_double_list(const std::string& name,
+                                         std::vector<double> dflt) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return dflt;
+  std::vector<double> out;
+  for (const auto& tok : split(it->second, ','))
+    if (!tok.empty()) out.push_back(std::stod(tok));
+  return out;
+}
+
+}  // namespace lra

@@ -1,0 +1,32 @@
+#pragma once
+// Tiny flag parser shared by the bench/example executables.
+// Flags take the form --name=value or --name value; unknown flags throw.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lra {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& dflt) const;
+  long long get_int(const std::string& name, long long dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+
+  /// Comma-separated list of integers, e.g. --np=1,2,4,8.
+  std::vector<long long> get_int_list(const std::string& name,
+                                      std::vector<long long> dflt) const;
+  /// Comma-separated list of doubles, e.g. --tau=1e-1,1e-2.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> dflt) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace lra

@@ -1,0 +1,63 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace lra {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CounterRng::CounterRng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : base_(splitmix64(seed ^ (0xa0761d6478bd642fULL * (stream + 1)))) {}
+
+std::uint64_t CounterRng::next() noexcept {
+  return splitmix64(base_ + 0x9e3779b97f4a7c15ULL * ++counter_);
+}
+
+void CounterRng::seek(std::uint64_t counter) noexcept {
+  counter_ = counter;
+  has_cached_gauss_ = false;
+}
+
+double CounterRng::uniform() noexcept {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t CounterRng::uniform_int(std::uint64_t bound) noexcept {
+  // Bounded rejection-free multiply-shift; bias is negligible for bound << 2^64.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double CounterRng::gaussian() noexcept {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 6.283185307179586476925286766559 * u2;
+  cached_gauss_ = r * std::sin(theta);
+  has_cached_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+void fill_gaussian(std::uint64_t seed, std::uint64_t stream,
+                   std::vector<double>& out) {
+  CounterRng rng(seed, stream);
+  for (double& v : out) v = rng.gaussian();
+}
+
+}  // namespace lra

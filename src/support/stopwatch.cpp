@@ -1,0 +1,13 @@
+#include "support/stopwatch.hpp"
+
+#include <ctime>
+
+namespace lra {
+
+double thread_cpu_seconds() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace lra

@@ -1,0 +1,42 @@
+#pragma once
+// Minimal fixed-width ASCII table printer used by the benchmark harnesses to
+// emit the paper's tables, plus a CSV sink so results can be post-processed.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lra {
+
+/// Column-aligned table. Cells are strings; numeric helpers format compactly.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row. Subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 3);
+  Table& cell(long long v);
+  Table& cell(long v) { return cell(static_cast<long long>(v)); }
+  Table& cell(int v) { return cell(static_cast<long long>(v)); }
+  Table& cell(std::size_t v) { return cell(static_cast<long long>(v)); }
+
+  /// Render with padded columns and a header rule.
+  void print(std::ostream& os) const;
+  /// Render as comma-separated values (header + rows).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double in the compact scientific style used in the paper's
+/// tables (e.g. "3.3e+05", "1.5e-05").
+std::string sci(double v, int precision = 1);
+
+}  // namespace lra

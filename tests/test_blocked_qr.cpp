@@ -1,0 +1,63 @@
+#include "dense/blocked_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/blas.hpp"
+#include "dense/qr.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+class Blocks : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Blocks, ReconstructsInput) {
+  const auto [m, n, nb] = GetParam();
+  const Matrix a = testing::random_matrix(m, n, 211);
+  BlockedQR f(a, nb);
+  testing::expect_near_matrix(matmul(f.thin_q(), f.r()), a, 1e-10 * (m + n));
+}
+
+TEST_P(Blocks, ThinQOrthonormal) {
+  const auto [m, n, nb] = GetParam();
+  const Matrix a = testing::random_matrix(m, n, 212);
+  BlockedQR f(a, nb);
+  EXPECT_LT(testing::orthogonality_defect(f.thin_q()), 1e-11 * (m + n));
+}
+
+TEST_P(Blocks, RMatchesUnblockedUpToSigns) {
+  const auto [m, n, nb] = GetParam();
+  const Matrix a = testing::random_matrix(m, n, 213);
+  const Matrix r1 = BlockedQR(a, nb).r();
+  const Matrix r2 = HouseholderQR(a).r();
+  // R is unique up to row signs: compare Gram matrices.
+  testing::expect_near_matrix(matmul_tn(r1, r1), matmul_tn(r2, r2), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Blocks,
+    ::testing::Values(std::tuple{40, 12, 4}, std::tuple{40, 12, 5},
+                      std::tuple{40, 12, 12}, std::tuple{40, 12, 32},
+                      std::tuple{100, 64, 16}, std::tuple{9, 9, 3},
+                      std::tuple{50, 1, 8}));
+
+TEST(BlockedQr, OrthBlockedSpansRange) {
+  const Matrix a = testing::random_matrix(30, 10, 214);
+  const Matrix q = orth_blocked(a, 4);
+  Matrix res = a;
+  gemm(res, q, matmul_tn(q, a), -1.0, 1.0);
+  EXPECT_LT(res.max_abs(), 1e-10);
+}
+
+TEST(BlockedQr, RankDeficientPanel) {
+  // Duplicate columns across a panel boundary.
+  Matrix a = testing::random_matrix(20, 3, 215);
+  Matrix dup = a;
+  a.append_cols(dup);
+  BlockedQR f(a, 2);
+  EXPECT_LT(testing::orthogonality_defect(f.thin_q()), 1e-10);
+  testing::expect_near_matrix(matmul(f.thin_q(), f.r()), a, 1e-10);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sparse/coo.hpp"
+#include "sparse/io_mm.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Coo, DuplicatesAreSummed) {
+  CooBuilder b(3, 3);
+  b.add(1, 2, 2.0);
+  b.add(1, 2, 3.0);
+  b.add(0, 0, 1.0);
+  const CscMatrix a = b.build();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_EQ(a.coeff(1, 2), 5.0);
+}
+
+TEST(Coo, CancellingDuplicatesVanish) {
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1.5);
+  b.add(0, 1, -1.5);
+  const CscMatrix a = b.build();
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(Coo, UnsortedInputSortedOutput) {
+  CooBuilder b(4, 4);
+  b.add(3, 3, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(2, 1, 3.0);
+  b.add(0, 1, 4.0);
+  const CscMatrix a = b.build();
+  EXPECT_TRUE(a.structurally_valid());
+  EXPECT_EQ(a.coeff(2, 1), 3.0);
+}
+
+TEST(MatrixMarket, WriteReadRoundtrip) {
+  const Matrix d = testing::random_matrix(9, 6, 81);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.6);
+  const std::string path = ::testing::TempDir() + "/lra_roundtrip.mtx";
+  write_matrix_market(a, path);
+  const CscMatrix b = read_matrix_market(path);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.cols(), a.cols());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_NEAR(max_abs_diff(a.to_dense(), b.to_dense()), 0.0, 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ReadsSymmetricExpansion) {
+  const std::string path = ::testing::TempDir() + "/lra_sym.mtx";
+  {
+    std::ofstream os(path);
+    os << "%%MatrixMarket matrix coordinate real symmetric\n";
+    os << "% a comment line\n";
+    os << "3 3 3\n";
+    os << "1 1 2.0\n2 1 -1.0\n3 3 5.0\n";
+  }
+  const CscMatrix a = read_matrix_market(path);
+  EXPECT_EQ(a.nnz(), 4);  // off-diagonal mirrored
+  EXPECT_EQ(a.coeff(0, 1), -1.0);
+  EXPECT_EQ(a.coeff(1, 0), -1.0);
+  EXPECT_EQ(a.coeff(2, 2), 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ReadsPatternAsOnes) {
+  const std::string path = ::testing::TempDir() + "/lra_pat.mtx";
+  {
+    std::ofstream os(path);
+    os << "%%MatrixMarket matrix coordinate pattern general\n";
+    os << "2 2 2\n";
+    os << "1 2\n2 1\n";
+  }
+  const CscMatrix a = read_matrix_market(path);
+  EXPECT_EQ(a.coeff(0, 1), 1.0);
+  EXPECT_EQ(a.coeff(1, 0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/lra_bad.mtx";
+  {
+    std::ofstream os(path);
+    os << "not a matrix market file\n";
+  }
+  EXPECT_THROW(read_matrix_market(path), std::runtime_error);
+  EXPECT_THROW(read_matrix_market("/nonexistent/file.mtx"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,132 @@
+#include "sparse/csc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix small_example() {
+  // [1 0 2]
+  // [0 3 0]
+  // [4 0 5]
+  Matrix d(3, 3);
+  d(0, 0) = 1;
+  d(2, 0) = 4;
+  d(1, 1) = 3;
+  d(0, 2) = 2;
+  d(2, 2) = 5;
+  return CscMatrix::from_dense(d);
+}
+
+TEST(Csc, FromToDenseRoundtrip) {
+  const Matrix d = testing::random_matrix(7, 5, 71);
+  const CscMatrix a = CscMatrix::from_dense(d);
+  testing::expect_near_matrix(a.to_dense(), d, 0.0);
+  EXPECT_TRUE(a.structurally_valid());
+  EXPECT_EQ(a.nnz(), 35);
+}
+
+TEST(Csc, FromDenseDropsBelowTolerance) {
+  Matrix d(2, 2);
+  d(0, 0) = 1e-3;
+  d(1, 1) = 1.0;
+  const CscMatrix a = CscMatrix::from_dense(d, 1e-2);
+  EXPECT_EQ(a.nnz(), 1);
+}
+
+TEST(Csc, CoeffLookup) {
+  const CscMatrix a = small_example();
+  EXPECT_EQ(a.coeff(0, 0), 1.0);
+  EXPECT_EQ(a.coeff(1, 1), 3.0);
+  EXPECT_EQ(a.coeff(2, 2), 5.0);
+  EXPECT_EQ(a.coeff(1, 0), 0.0);
+  EXPECT_EQ(a.coeff(0, 1), 0.0);
+}
+
+TEST(Csc, TransposeMatchesDense) {
+  const Matrix d = testing::random_matrix(6, 9, 72);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.5);  // sparsify
+  const CscMatrix at = a.transposed();
+  EXPECT_TRUE(at.structurally_valid());
+  testing::expect_near_matrix(at.to_dense(), a.to_dense().transposed(), 0.0);
+}
+
+TEST(Csc, SelectColumnsReordersAndDuplicates) {
+  const CscMatrix a = small_example();
+  const std::vector<Index> cols = {2, 0, 2};
+  const CscMatrix s = a.select_columns(cols);
+  EXPECT_EQ(s.cols(), 3);
+  EXPECT_EQ(s.coeff(0, 0), 2.0);
+  EXPECT_EQ(s.coeff(0, 1), 1.0);
+  EXPECT_EQ(s.coeff(2, 2), 5.0);
+  EXPECT_TRUE(s.structurally_valid());
+}
+
+TEST(Csc, BlockExtraction) {
+  const Matrix d = testing::random_matrix(8, 8, 73);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.3);
+  const CscMatrix b = a.block(2, 6, 1, 5);
+  EXPECT_TRUE(b.structurally_valid());
+  testing::expect_near_matrix(b.to_dense(), a.to_dense().block(2, 1, 4, 4), 0.0);
+}
+
+TEST(Csc, HcatVcat) {
+  const Matrix d1 = testing::random_matrix(4, 3, 74);
+  const Matrix d2 = testing::random_matrix(4, 2, 75);
+  const CscMatrix h = CscMatrix::from_dense(d1).hcat(CscMatrix::from_dense(d2));
+  EXPECT_TRUE(h.structurally_valid());
+  EXPECT_EQ(h.cols(), 5);
+  testing::expect_near_matrix(h.to_dense().block(0, 3, 4, 2), d2, 0.0);
+
+  const Matrix d3 = testing::random_matrix(2, 3, 76);
+  const CscMatrix v = CscMatrix::from_dense(d1).vcat(CscMatrix::from_dense(d3));
+  EXPECT_TRUE(v.structurally_valid());
+  EXPECT_EQ(v.rows(), 6);
+  testing::expect_near_matrix(v.to_dense().block(4, 0, 2, 3), d3, 0.0);
+}
+
+TEST(Csc, NormsMatchDense) {
+  const Matrix d = testing::random_matrix(10, 10, 77);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.2);
+  EXPECT_NEAR(a.frobenius_norm(), a.to_dense().frobenius_norm(), 1e-12);
+  EXPECT_NEAR(a.max_abs(), a.to_dense().max_abs(), 0.0);
+}
+
+TEST(Csc, ColumnNorms) {
+  const CscMatrix a = small_example();
+  const auto n = a.column_norms();
+  EXPECT_NEAR(n[0], std::sqrt(17.0), 1e-14);
+  EXPECT_NEAR(n[1], 3.0, 1e-14);
+  EXPECT_NEAR(n[2], std::sqrt(29.0), 1e-14);
+}
+
+TEST(Csc, NonemptyRows) {
+  CscMatrix a(5, 2);
+  EXPECT_TRUE(a.nonempty_rows().empty());
+  const CscMatrix b = small_example();
+  EXPECT_EQ(b.nonempty_rows().size(), 3u);
+}
+
+TEST(Csc, PruneRemovesSmallEntries) {
+  Matrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = 1e-8;
+  d(2, 2) = -2.0;
+  CscMatrix a = CscMatrix::from_dense(d);
+  a.prune(1e-6);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_TRUE(a.structurally_valid());
+  EXPECT_EQ(a.coeff(1, 1), 0.0);
+}
+
+TEST(Csc, DensityAndEmpty) {
+  CscMatrix a(10, 10);
+  EXPECT_EQ(a.density(), 0.0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_TRUE(a.structurally_valid());
+}
+
+}  // namespace
+}  // namespace lra

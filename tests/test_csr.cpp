@@ -1,0 +1,100 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/blas.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix random_csc(Index m, Index n, double drop, std::uint64_t seed) {
+  return CscMatrix::from_dense(testing::random_matrix(m, n, seed), drop);
+}
+
+class CsrDensity : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrDensity, CscRoundTripIsExact) {
+  const CscMatrix a = random_csc(9, 13, GetParam(), 201);
+  const CsrMatrix r = CsrMatrix::from_csc(a);
+  EXPECT_TRUE(r.structurally_valid());
+  EXPECT_EQ(r.nnz(), a.nnz());
+  testing::expect_near_matrix(r.to_dense(), a.to_dense(), 0.0);
+  testing::expect_near_matrix(r.to_csc().to_dense(), a.to_dense(), 0.0);
+}
+
+TEST_P(CsrDensity, SpmvMatchesCscSpmv) {
+  const CscMatrix a = random_csc(11, 8, GetParam(), 202);
+  const CsrMatrix r = CsrMatrix::from_csc(a);
+  const Matrix x = testing::random_matrix(8, 1, 203);
+  std::vector<double> y_csr(11), y_ref(11);
+  spmv(r, x.col(0), y_csr.data());
+  const Matrix ref = matmul(a.to_dense(), x);
+  for (Index i = 0; i < 11; ++i) EXPECT_NEAR(y_csr[i], ref(i, 0), 1e-12);
+}
+
+TEST_P(CsrDensity, SpmmAndTransposeMatchDense) {
+  const CscMatrix a = random_csc(12, 10, GetParam(), 204);
+  const CsrMatrix r = CsrMatrix::from_csc(a);
+  const Matrix b = testing::random_matrix(10, 3, 205);
+  testing::expect_near_matrix(spmm(r, b), matmul(a.to_dense(), b), 1e-11);
+  const Matrix bt = testing::random_matrix(12, 3, 206);
+  testing::expect_near_matrix(spmm_t(r, bt), matmul_tn(a.to_dense(), bt),
+                              1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CsrDensity, ::testing::Values(0.0, 0.6, 1.5));
+
+TEST(Csr, CoeffLookup) {
+  Matrix d(3, 3);
+  d(0, 2) = 5.0;
+  d(2, 0) = -1.0;
+  const CsrMatrix r = CsrMatrix::from_csc(CscMatrix::from_dense(d));
+  EXPECT_EQ(r.coeff(0, 2), 5.0);
+  EXPECT_EQ(r.coeff(2, 0), -1.0);
+  EXPECT_EQ(r.coeff(1, 1), 0.0);
+}
+
+TEST(Csr, RowSliceMatchesDenseBlock) {
+  const CscMatrix a = random_csc(10, 6, 0.4, 207);
+  const CsrMatrix r = CsrMatrix::from_csc(a);
+  const CsrMatrix s = r.row_slice(3, 8);
+  EXPECT_TRUE(s.structurally_valid());
+  testing::expect_near_matrix(s.to_dense(), a.to_dense().block(3, 0, 5, 6),
+                              0.0);
+}
+
+TEST(Csr, RowSliceEdges) {
+  const CscMatrix a = random_csc(6, 4, 0.5, 208);
+  const CsrMatrix r = CsrMatrix::from_csc(a);
+  EXPECT_EQ(r.row_slice(0, 6).nnz(), r.nnz());
+  EXPECT_EQ(r.row_slice(2, 2).rows(), 0);
+  EXPECT_EQ(r.row_slice(2, 2).nnz(), 0);
+}
+
+TEST(Csr, RowNormsAndScaling) {
+  Matrix d(2, 2);
+  d(0, 0) = 3.0;
+  d(0, 1) = 4.0;
+  d(1, 1) = 2.0;
+  CsrMatrix r = CsrMatrix::from_csc(CscMatrix::from_dense(d));
+  const auto norms = r.row_norms();
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 2.0);
+  const std::vector<double> s = {2.0, 0.5};
+  r.scale_rows(s);
+  EXPECT_DOUBLE_EQ(r.coeff(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(r.coeff(1, 1), 1.0);
+}
+
+TEST(Csr, EmptyMatrix) {
+  CsrMatrix r(4, 5);
+  EXPECT_TRUE(r.structurally_valid());
+  EXPECT_EQ(r.nnz(), 0);
+  std::vector<double> x(5, 1.0), y(4, -1.0);
+  spmv(r, x.data(), y.data());
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/lu_crtp_dist.hpp"
+#include "core/randqb_ei_dist.hpp"
+#include "core/randubv_dist.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix test_matrix(Index n = 260, std::uint64_t seed = 7) {
+  return givens_spray(geometric_spectrum(n, 10.0, 0.94),
+                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                       .seed = seed});
+}
+
+class Ranks : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ranks, DistLuConvergesAndVerifies) {
+  const CscMatrix a = test_matrix();
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistLuResult d = lu_crtp_dist(a, o, GetParam());
+  EXPECT_EQ(d.result.status, Status::kConverged);
+  EXPECT_TRUE(is_permutation(d.result.row_perm));
+  EXPECT_TRUE(is_permutation(d.result.col_perm));
+  const double exact = lu_crtp_exact_error(a, d.result);
+  EXPECT_LT(exact, o.tau * d.result.anorm_f);
+  EXPECT_NEAR(d.result.indicator, exact, 1e-8 * d.result.anorm_f);
+}
+
+TEST_P(Ranks, DistRandQbConvergesAndVerifies) {
+  const CscMatrix a = test_matrix();
+  RandQbOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  o.power = 1;
+  const DistRandQbResult d = randqb_ei_dist(a, o, GetParam());
+  EXPECT_EQ(d.result.status, Status::kConverged);
+  const double exact = randqb_exact_error(a, d.result);
+  EXPECT_LT(exact, o.tau * d.result.anorm_f);
+  EXPECT_LT(testing::orthogonality_defect(d.result.q), 1e-9);
+}
+
+TEST_P(Ranks, DistIlutConvergesAndThresholds) {
+  const CscMatrix a = test_matrix();
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  o.threshold = ThresholdMode::kIlut;
+  const DistLuResult d = lu_crtp_dist(a, o, GetParam());
+  EXPECT_EQ(d.result.status, Status::kConverged);
+  EXPECT_LT(lu_crtp_exact_error(a, d.result),
+            o.tau * d.result.anorm_f * 1.05);
+}
+
+TEST_P(Ranks, DistRandUbvConvergesAndVerifies) {
+  const CscMatrix a = test_matrix();
+  RandUbvOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistRandUbvResult d = randubv_dist(a, o, GetParam());
+  EXPECT_EQ(d.result.status, Status::kConverged);
+  const double exact = randubv_exact_error(a, d.result);
+  EXPECT_LT(exact, o.tau * d.result.anorm_f * 1.01);
+  EXPECT_NEAR(d.result.indicator, exact, 1e-6 * d.result.anorm_f);
+  EXPECT_LT(testing::orthogonality_defect(d.result.u), 1e-9);
+  EXPECT_LT(testing::orthogonality_defect(d.result.v), 1e-9);
+}
+
+TEST_P(Ranks, DistRandUbvMatchesSequentialIterationCount) {
+  const CscMatrix a = test_matrix(200);
+  RandUbvOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const RandUbvResult seq = randubv(a, o);
+  const DistRandUbvResult par = randubv_dist(a, o, GetParam());
+  EXPECT_EQ(par.result.iterations, seq.iterations);
+  EXPECT_EQ(par.result.rank, seq.rank);
+}
+
+INSTANTIATE_TEST_SUITE_P(NumRanks, Ranks, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Dist, LuResultsIdenticalAcrossRankCounts) {
+  // The distributed algorithm is deterministic; rank/iteration counts should
+  // not depend on the process count (tournament tree shape may reorder
+  // winner sets, but convergence metrics must agree closely).
+  const CscMatrix a = test_matrix(200);
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistLuResult d1 = lu_crtp_dist(a, o, 1);
+  const DistLuResult d4 = lu_crtp_dist(a, o, 4);
+  EXPECT_EQ(d1.result.rank, d4.result.rank);
+  EXPECT_NEAR(d1.result.indicator, d4.result.indicator,
+              0.2 * d1.result.indicator + 1e-12);
+}
+
+TEST(Dist, SingleRankMatchesSequentialQuality) {
+  const CscMatrix a = test_matrix(200);
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const LuCrtpResult seq = lu_crtp(a, o);
+  const DistLuResult par = lu_crtp_dist(a, o, 1);
+  EXPECT_EQ(seq.rank, par.result.rank);
+  EXPECT_EQ(seq.iterations, par.result.iterations);
+}
+
+TEST(Dist, VirtualTimeDecreasesThenSaturates) {
+  // Strong scaling: 2 ranks should beat 1; very large rank counts on a tiny
+  // problem must not keep improving (communication dominates).
+  const CscMatrix a = test_matrix(300);
+  RandQbOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  o.power = 1;
+  const double t1 = randqb_ei_dist(a, o, 1).virtual_seconds;
+  const double t2 = randqb_ei_dist(a, o, 2).virtual_seconds;
+  EXPECT_LT(t2, t1 * 1.05);  // some gain (allow noise)
+}
+
+TEST(Dist, KernelTimersCoverDetKernels) {
+  const CscMatrix a = test_matrix(200);
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistLuResult d = lu_crtp_dist(a, o, 4);
+  EXPECT_TRUE(d.kernel_seconds.count("col_qrtp"));
+  EXPECT_TRUE(d.kernel_seconds.count("row_qrtp"));
+  EXPECT_TRUE(d.kernel_seconds.count("schur"));
+  EXPECT_TRUE(d.kernel_seconds.count("solve_a21"));
+  double total = 0.0;
+  for (const auto& [k, v] : d.kernel_seconds) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Dist, IterVsecondsMonotone) {
+  const CscMatrix a = test_matrix(200);
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-3;
+  const DistLuResult d = lu_crtp_dist(a, o, 2);
+  ASSERT_FALSE(d.iter_vseconds.empty());
+  for (std::size_t i = 1; i < d.iter_vseconds.size(); ++i)
+    EXPECT_GE(d.iter_vseconds[i], d.iter_vseconds[i - 1]);
+  EXPECT_LE(d.iter_vseconds.back(), d.virtual_seconds + 1e-9);
+}
+
+}  // namespace
+}  // namespace lra

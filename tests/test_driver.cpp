@@ -1,0 +1,106 @@
+#include "core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix test_matrix(Index n = 150, std::uint64_t seed = 3) {
+  return givens_spray(geometric_spectrum(n, 5.0, 0.9),
+                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                       .seed = seed});
+}
+
+class AllMethods : public ::testing::TestWithParam<Method> {};
+
+TEST_P(AllMethods, ConvergesAndReconstructs) {
+  const CscMatrix a = test_matrix();
+  ApproxOptions o;
+  o.method = GetParam();
+  o.tau = 1e-2;
+  o.block_size = 10;
+  const LowRankApprox r = approximate(a, o);
+  EXPECT_EQ(r.method(), GetParam());
+  EXPECT_EQ(r.status(), Status::kConverged);
+  const double err = residual_fro(a, r.h_dense(), r.w_dense());
+  EXPECT_LT(err, 1.05 * o.tau * a.frobenius_norm());
+}
+
+TEST_P(AllMethods, ApplyMatchesDenseFactors) {
+  const CscMatrix a = test_matrix(80);
+  ApproxOptions o;
+  o.method = GetParam();
+  o.tau = 1e-2;
+  o.block_size = 8;
+  const LowRankApprox r = approximate(a, o);
+
+  const Matrix x = testing::random_matrix(80, 1, 21);
+  std::vector<double> y(80, 0.0);
+  r.apply(x.col(0), y.data());
+  // Reference: H (W x).
+  const Matrix hw_x = matmul(r.h_dense(), matmul(r.w_dense(), x));
+  for (Index i = 0; i < 80; ++i) EXPECT_NEAR(y[i], hw_x(i, 0), 1e-10);
+
+  std::vector<double> yt(80, 0.0);
+  r.apply_transpose(x.col(0), yt.data());
+  const Matrix wt_ht_x =
+      matmul(r.w_dense().transposed(), matmul(r.h_dense().transposed(), x));
+  for (Index i = 0; i < 80; ++i) EXPECT_NEAR(yt[i], wt_ht_x(i, 0), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AllMethods,
+                         ::testing::Values(Method::kRandQbEi, Method::kLuCrtp,
+                                           Method::kIlutCrtp,
+                                           Method::kRandUbv));
+
+TEST(Driver, AutoPicksDeterministicForCoarseSparse) {
+  const CscMatrix a = test_matrix(500);  // density ~3% < 5%
+  ApproxOptions o;
+  o.tau = 1e-1;
+  const LowRankApprox r = approximate(a, o);
+  EXPECT_EQ(r.method(), Method::kLuCrtp);
+}
+
+TEST(Driver, AutoPicksIlutForTightSparse) {
+  const CscMatrix a = test_matrix(500);
+  ApproxOptions o;
+  o.tau = 1e-3;
+  EXPECT_EQ(approximate(a, o).method(), Method::kIlutCrtp);
+}
+
+TEST(Driver, AutoPicksRandQbForDense) {
+  const CscMatrix a =
+      CscMatrix::from_dense(testing::random_matrix(60, 60, 17), 0.1);
+  ApproxOptions o;
+  o.tau = 1e-2;
+  EXPECT_EQ(approximate(a, o).method(), Method::kRandQbEi);
+}
+
+TEST(Driver, MethodStringsRoundTrip) {
+  for (Method m : {Method::kRandQbEi, Method::kLuCrtp, Method::kIlutCrtp,
+                   Method::kRandUbv, Method::kAuto}) {
+    EXPECT_EQ(method_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(method_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Driver, FactorValuesReflectSparsity) {
+  const CscMatrix a = test_matrix();
+  ApproxOptions dense_o;
+  dense_o.method = Method::kRandQbEi;
+  dense_o.tau = 1e-2;
+  ApproxOptions sparse_o;
+  sparse_o.method = Method::kIlutCrtp;
+  sparse_o.tau = 1e-2;
+  const LowRankApprox qb = approximate(a, dense_o);
+  const LowRankApprox il = approximate(a, sparse_o);
+  EXPECT_LT(il.factor_values(), qb.factor_values());
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "sparse/colamd.hpp"
+#include "sparse/etree.hpp"
+#include "sparse/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Etree, DiagonalMatrixIsForestOfRoots) {
+  const CscMatrix a = CscMatrix::from_dense(Matrix::identity(4));
+  const auto parent = column_etree(a);
+  for (Index v : parent) EXPECT_EQ(v, -1);
+}
+
+TEST(Etree, DenseMatrixIsChain) {
+  const CscMatrix a =
+      CscMatrix::from_dense(testing::random_matrix(5, 5, 131));
+  const auto parent = column_etree(a);
+  for (Index j = 0; j < 4; ++j) EXPECT_EQ(parent[j], j + 1);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(Etree, ParentsAreLarger) {
+  const CscMatrix a = circuit_like(40, 3, 1, 7);
+  const auto parent = column_etree(a);
+  for (std::size_t j = 0; j < parent.size(); ++j)
+    if (parent[j] != -1) EXPECT_GT(parent[j], static_cast<Index>(j));
+}
+
+TEST(Postorder, IsValidPermutationWithChildrenFirst) {
+  const CscMatrix a = circuit_like(30, 3, 1, 9);
+  const auto parent = column_etree(a);
+  const Perm post = etree_postorder(parent);
+  EXPECT_TRUE(is_permutation(post));
+  // Position of each node must be after all of its descendants: check the
+  // direct-child relation.
+  Perm pos = invert(post);
+  for (std::size_t v = 0; v < parent.size(); ++v)
+    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+}
+
+TEST(Colamd, ProducesValidPermutation) {
+  const CscMatrix a = circuit_like(60, 4, 2, 11);
+  EXPECT_TRUE(is_permutation(colamd_order(a)));
+  EXPECT_TRUE(is_permutation(colamd_postordered(a)));
+}
+
+TEST(Colamd, HandlesEmptyColumns) {
+  CscMatrix a(5, 4);  // all-zero
+  EXPECT_TRUE(is_permutation(colamd_order(a)));
+}
+
+TEST(Colamd, ReducesCholeskyFillOnArrowMatrix) {
+  // Arrow matrix with the dense row/col FIRST: natural order fills A^T A
+  // completely; AMD-style ordering must push the dense column last.
+  const Index n = 30;
+  Matrix d(n, n);
+  for (Index i = 0; i < n; ++i) {
+    d(i, i) = 2.0;
+    d(i, 0) = 1.0;
+    d(0, i) = 1.0;
+  }
+  const CscMatrix a = CscMatrix::from_dense(d);
+  const Perm ord = colamd_order(a);
+  // The hub column 0 must not be eliminated early.
+  Index pos0 = -1;
+  for (std::size_t j = 0; j < ord.size(); ++j)
+    if (ord[j] == 0) pos0 = static_cast<Index>(j);
+  EXPECT_GT(pos0, n / 2);
+}
+
+TEST(Colamd, OrderingIsDeterministic) {
+  const CscMatrix a = circuit_like(50, 4, 1, 13);
+  EXPECT_EQ(colamd_order(a), colamd_order(a));
+}
+
+}  // namespace
+}  // namespace lra

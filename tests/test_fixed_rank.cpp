@@ -1,0 +1,127 @@
+#include "core/fixed_rank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/blas.hpp"
+#include "dense/svd.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix test_matrix(Index n = 180, std::uint64_t seed = 3) {
+  return givens_spray(geometric_spectrum(n, 5.0, 0.9),
+                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                       .seed = seed});
+}
+
+TEST(Rrf, ReturnsOrthonormalBasisOfRequestedRank) {
+  const CscMatrix a = test_matrix();
+  const Matrix q = rrf(a, 20, 1);
+  EXPECT_EQ(q.cols(), 20);
+  EXPECT_LT(testing::orthogonality_defect(q), 1e-11);
+}
+
+TEST(Rrf, CapturesDominantSubspace) {
+  // Residual after projection must match the Eckart-Young tail up to the
+  // usual oversampling slack.
+  const auto sigma = geometric_spectrum(180, 5.0, 0.9);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 3});
+  const Index k = 30;
+  const Matrix q = rrf(a, k, 2);
+  const Matrix b = spmm_t(a, q).transposed();
+  double tail_sq = 0.0;
+  for (std::size_t i = k; i < sigma.size(); ++i) tail_sq += sigma[i] * sigma[i];
+  const double err = residual_fro(a, q, b);
+  EXPECT_LT(err, 3.0 * std::sqrt(tail_sq) + 1e-12);
+}
+
+TEST(Rrf, PowerIterationImprovesAccuracy) {
+  const CscMatrix a = givens_spray(
+      algebraic_spectrum(200, 5.0, 0.8),
+      {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 5});
+  auto err_of = [&](int p) {
+    const Matrix q = rrf(a, 25, p);
+    const Matrix b = spmm_t(a, q).transposed();
+    return residual_fro(a, q, b);
+  };
+  EXPECT_LE(err_of(2), err_of(0) * 1.01);
+}
+
+TEST(Arrf, ConvergesAndCertifies) {
+  const CscMatrix a = test_matrix();
+  ArrfOptions o;
+  o.tau = 1e-1;
+  const ArrfResult r = arrf(a, o);
+  EXPECT_EQ(r.status, Status::kConverged);
+  EXPECT_LT(testing::orthogonality_defect(r.q), 1e-9);
+  // True projection error must be below the certified estimate.
+  const Matrix b = spmm_t(a, r.q).transposed();
+  EXPECT_LE(residual_fro(a, r.q, b), r.estimate * 1.01);
+}
+
+TEST(Arrf, RankGrowsWithTighterTolerance) {
+  const CscMatrix a = test_matrix();
+  ArrfOptions o1;
+  o1.tau = 2e-1;
+  ArrfOptions o2;
+  o2.tau = 2e-2;
+  EXPECT_LT(arrf(a, o1).rank, arrf(a, o2).rank);
+}
+
+TEST(RsvdRestart, ConvergesWithDoublingRank) {
+  const CscMatrix a = test_matrix();
+  const RsvdRestartResult r = rsvd_restart(a, 1e-2, 8, 1);
+  EXPECT_EQ(r.status, Status::kConverged);
+  EXPECT_GT(r.restarts, 1);  // k0 = 8 is too small on purpose
+  EXPECT_LT(r.error, 1e-2 * a.frobenius_norm());
+}
+
+TEST(RandQbB, ConvergesButDensifies) {
+  const CscMatrix a = test_matrix();
+  const RandQbBlockedResult r = randqb_b(a, 16, 1e-2);
+  EXPECT_EQ(r.status, Status::kConverged);
+  EXPECT_EQ(r.peak_dense_nnz, a.rows() * a.cols());  // the whole point
+  EXPECT_GT(r.peak_dense_nnz, 3 * a.nnz());
+  const double err = residual_fro(a, r.q, r.b);
+  EXPECT_LT(err, 1e-2 * a.frobenius_norm() * 1.01);
+}
+
+TEST(FixedRankWrappers, HitExactRankBudget) {
+  const CscMatrix a = test_matrix();
+  const RandQbResult qb = randqb_fixed_rank(a, 48);
+  EXPECT_EQ(qb.rank, 48);
+  EXPECT_EQ(qb.status, Status::kConverged);
+  const LuCrtpResult lu = lu_crtp_fixed_rank(a, 48);
+  EXPECT_EQ(lu.rank, 48);
+  EXPECT_EQ(lu.status, Status::kConverged);
+}
+
+TEST(QbToSvd, MatchesDirectSvd) {
+  const CscMatrix a = test_matrix(100);
+  RandQbOptions o;
+  o.power = 2;
+  o.block_size = 20;
+  const RandQbResult qb = randqb_fixed_rank(a, 40, o);
+  const SvdResult svd = qb_to_svd(qb.q, qb.b);
+  EXPECT_LT(testing::orthogonality_defect(svd.u), 1e-9);
+  EXPECT_LT(testing::orthogonality_defect(svd.v), 1e-9);
+  const auto exact = singular_values(a.to_dense());
+  for (Index j = 0; j < 10; ++j)
+    EXPECT_NEAR(svd.sigma[j], exact[j], 1e-6 * exact[0]);
+}
+
+TEST(QbToSvd, TruncationParameter) {
+  const CscMatrix a = test_matrix(90);
+  const RandQbResult qb = randqb_fixed_rank(a, 30);
+  const SvdResult svd = qb_to_svd(qb.q, qb.b, 12);
+  EXPECT_EQ(svd.u.cols(), 12);
+  EXPECT_EQ(svd.sigma.size(), 12u);
+}
+
+}  // namespace
+}  // namespace lra

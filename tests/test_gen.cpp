@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "dense/svd.hpp"
+#include "gen/families.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/presets.hpp"
+#include "gen/spectrum.hpp"
+#include "gen/suite.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Spectrum, GeometricShape) {
+  const auto s = geometric_spectrum(5, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(s[0], 2.0);
+  EXPECT_DOUBLE_EQ(s[4], 2.0 * 0.0625);
+}
+
+TEST(Spectrum, AlgebraicShape) {
+  const auto s = algebraic_spectrum(4, 8.0, 1.0);
+  EXPECT_DOUBLE_EQ(s[0], 8.0);
+  EXPECT_DOUBLE_EQ(s[3], 2.0);
+}
+
+TEST(Spectrum, GappedHasHeadAndTail) {
+  const auto s = gapped_spectrum(20, 5, 100.0, 0.1, 1.0);
+  EXPECT_GT(s[4], 10.0);
+  EXPECT_LE(s[5], 0.1);
+}
+
+TEST(Spectrum, StaircaseDrops) {
+  const auto s = staircase_spectrum(12, 3, 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(s[0], 10.0);
+  // 12 values, plateau length 4: drops after positions 3 and 7 leave the
+  // last plateau two decades below the first.
+  EXPECT_NEAR(s[11] / s[0], 0.01, 1e-12);
+  EXPECT_NEAR(s[4] / s[0], 0.1, 1e-12);
+}
+
+TEST(Spectrum, JitterPreservesOrderAndScale) {
+  auto s = geometric_spectrum(30, 1.0, 0.9);
+  jitter_spectrum(s, 0.05, 7);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i], s[i - 1]);
+  EXPECT_NEAR(s[0], 1.0, 0.3);
+}
+
+TEST(Spectrum, AnchoredHitsPrescribedMinRanks) {
+  // The anchored spectrum pins min_rank(tau) = frac * n (the construction
+  // behind the M1'-M6' presets; see DESIGN.md).
+  const Index n = 500;
+  const auto sigma = anchored_spectrum(
+      n, {{0.10, 1e-1}, {0.30, 1e-2}, {0.60, 1e-3}, {1.0, 1e-7}});
+  EXPECT_NEAR(static_cast<double>(min_rank_for_tolerance(sigma, 1e-1)), 50, 3);
+  EXPECT_NEAR(static_cast<double>(min_rank_for_tolerance(sigma, 1e-2)), 150, 4);
+  EXPECT_NEAR(static_cast<double>(min_rank_for_tolerance(sigma, 1e-3)), 300, 5);
+}
+
+TEST(Spectrum, AnchoredIsDescendingAndPositive) {
+  const auto sigma =
+      anchored_spectrum(200, {{0.05, 1e-2}, {0.5, 1e-4}, {1.0, 1e-8}}, 42.0);
+  EXPECT_DOUBLE_EQ(sigma[0], 42.0);
+  for (std::size_t i = 1; i < sigma.size(); ++i) {
+    EXPECT_GT(sigma[i], 0.0);
+    EXPECT_LE(sigma[i], sigma[i - 1]);
+  }
+}
+
+TEST(Spectrum, AnchoredAppendsFinalAnchorWhenMissing) {
+  // Anchors not reaching frac = 1 are completed automatically.
+  const auto sigma = anchored_spectrum(100, {{0.2, 1e-2}});
+  EXPECT_EQ(sigma.size(), 100u);
+  EXPECT_NEAR(static_cast<double>(min_rank_for_tolerance(sigma, 1e-2)), 20, 2);
+}
+
+TEST(Spectrum, AnchoredSurvivesSprayExactly) {
+  // The spray is orthogonal: anchors still hold for the generated matrix.
+  const Index n = 150;
+  const auto sigma =
+      anchored_spectrum(n, {{0.2, 1e-1}, {0.6, 1e-3}, {1.0, 1e-7}});
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 61});
+  const auto sv = singular_values(a.to_dense());
+  EXPECT_NEAR(static_cast<double>(min_rank_for_tolerance(sv, 1e-1)),
+              0.2 * n, 3);
+}
+
+class SprayBandwidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(SprayBandwidth, ExactSingularValues) {
+  const auto sigma = geometric_spectrum(60, 4.0, 0.88);
+  const CscMatrix a =
+      givens_spray(sigma, {.left_passes = 2, .right_passes = 2,
+                           .bandwidth = GetParam(), .seed = 51});
+  const auto sv = singular_values(a.to_dense());
+  for (std::size_t i = 0; i < sv.size(); ++i)
+    EXPECT_NEAR(sv[i], sigma[i], 1e-10 * sigma[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, SprayBandwidth, ::testing::Values(0, 5, 20));
+
+TEST(Spray, PassesControlDensity) {
+  const auto sigma = geometric_spectrum(200, 1.0, 0.95);
+  const CscMatrix a1 = givens_spray(sigma, {.left_passes = 1, .right_passes = 1,
+                                            .bandwidth = 0, .seed = 52});
+  const CscMatrix a3 = givens_spray(sigma, {.left_passes = 3, .right_passes = 3,
+                                            .bandwidth = 0, .seed = 52});
+  EXPECT_LT(a1.nnz(), a3.nnz());
+  EXPECT_LT(a3.density(), 0.5);
+}
+
+TEST(Spray, BandwidthLimitsProfile) {
+  const auto sigma = geometric_spectrum(120, 1.0, 0.95);
+  const Index bw = 6;
+  const CscMatrix a = givens_spray(sigma, {.left_passes = 2, .right_passes = 2,
+                                           .bandwidth = bw, .seed = 53});
+  // Entry (i, j) can only be reached within ~(passes * bw) of the permuted
+  // diagonal; just check the matrix is far from fully scattered.
+  Index max_span = 0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    if (!rows.empty())
+      max_span = std::max(max_span, rows.back() - rows.front());
+  }
+  EXPECT_LT(max_span, 120);
+}
+
+TEST(Families, LaplacianIsSymmetricDiagonallyDominant) {
+  const CscMatrix a = laplacian_2d(6, 5, 2.0, 54);
+  EXPECT_EQ(a.rows(), 30);
+  const Matrix d = a.to_dense();
+  for (Index i = 0; i < 30; ++i) {
+    double off = 0.0;
+    for (Index j = 0; j < 30; ++j)
+      if (i != j) off += std::fabs(d(i, j));
+    EXPECT_GE(d(i, i), off - 1e-12);
+  }
+}
+
+TEST(Families, CircuitHasWideMagnitudeRange) {
+  const CscMatrix a = circuit_like(100, 4, 2, 55);
+  double mn = 1e300, mx = 0.0;
+  for (double v : a.values()) {
+    mn = std::min(mn, std::fabs(v));
+    mx = std::max(mx, std::fabs(v));
+  }
+  EXPECT_GT(mx / mn, 1e2);
+}
+
+TEST(Families, ShapesAndValidity) {
+  EXPECT_TRUE(economic_like(50, 5, 0.01, 56).structurally_valid());
+  EXPECT_TRUE(random_sparse(20, 30, 0.1, 57).structurally_valid());
+  EXPECT_TRUE(integer_like(25, 0.2, 58).structurally_valid());
+  EXPECT_TRUE(banded_operator(40, 3, 59).structurally_valid());
+}
+
+TEST(Families, IntegerEntriesAreIntegers) {
+  const CscMatrix a = integer_like(30, 0.2, 60);
+  for (double v : a.values())
+    EXPECT_EQ(v, std::round(v));
+}
+
+TEST(Presets, AllLabelsBuildAndMatchMetadata) {
+  for (const auto& label : preset_labels()) {
+    const TestMatrix t = make_preset(label, 0.05, 3);  // tiny for test speed
+    EXPECT_EQ(t.label, label);
+    EXPECT_FALSE(t.analog_of.empty());
+    EXPECT_GT(t.a.nnz(), 0);
+    EXPECT_EQ(static_cast<Index>(t.sigma.size()), t.a.rows());
+    EXPECT_FALSE(preset_tau_grid(label).empty());
+  }
+  EXPECT_THROW(make_preset("M7"), std::invalid_argument);
+}
+
+TEST(Presets, SpectrumIsExact) {
+  const TestMatrix t = make_preset("M1", 0.05, 3);
+  const auto sv = singular_values(t.a.to_dense());
+  for (std::size_t i = 0; i < sv.size(); ++i)
+    EXPECT_NEAR(sv[i], t.sigma[i], 1e-9 * t.sigma[0]);
+}
+
+TEST(Suite, GeneratesOrderedPopulation) {
+  SuiteOptions o;
+  o.per_family = 2;
+  o.min_dim = 40;
+  o.max_dim = 80;
+  const auto suite = make_suite(o);
+  EXPECT_EQ(suite.size(), 16u);  // 8 families x 2
+  for (std::size_t i = 1; i < suite.size(); ++i)
+    EXPECT_LE(suite[i - 1].numerical_rank, suite[i].numerical_rank);
+  for (const auto& m : suite) {
+    EXPECT_TRUE(m.a.structurally_valid());
+    EXPECT_GT(m.numerical_rank, 0);
+    EXPECT_LE(m.numerical_rank, std::min(m.a.rows(), m.a.cols()));
+  }
+}
+
+TEST(Suite, RankDeficientFamilyReallyIs) {
+  SuiteOptions o;
+  o.per_family = 2;
+  o.min_dim = 60;
+  o.max_dim = 80;
+  const auto suite = make_suite(o);
+  bool found = false;
+  for (const auto& m : suite) {
+    if (m.family == "rank_def") {
+      EXPECT_LT(m.numerical_rank, std::min(m.a.rows(), m.a.cols()));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lra

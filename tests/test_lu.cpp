@@ -1,0 +1,75 @@
+#include "dense/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/blas.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(PartialPivLU, SolveRecoversKnownSolution) {
+  const Matrix a = testing::random_matrix(12, 12, 51);
+  const Matrix x = testing::random_matrix(12, 3, 52);
+  const Matrix b = matmul(a, x);
+  PartialPivLU f(a);
+  EXPECT_FALSE(f.singular());
+  testing::expect_near_matrix(f.solve(b), x, 1e-8);
+}
+
+TEST(PartialPivLU, SolveTransposeRecoversKnownSolution) {
+  const Matrix a = testing::random_matrix(10, 10, 53);
+  const Matrix x = testing::random_matrix(10, 2, 54);
+  const Matrix b = matmul_tn(a, x);  // A^T x
+  PartialPivLU f(a);
+  testing::expect_near_matrix(f.solve_transpose(b), x, 1e-8);
+}
+
+TEST(PartialPivLU, RowSolveMatchesTransposeSolve) {
+  const Matrix a = testing::random_matrix(8, 8, 55);
+  const Matrix b = testing::random_matrix(8, 1, 56);
+  PartialPivLU f(a);
+  std::vector<double> row(8);
+  for (Index i = 0; i < 8; ++i) row[i] = b(i, 0);
+  f.solve_row_inplace(row.data());  // x^T A = b^T
+  const Matrix xt = f.solve_transpose(b);
+  for (Index i = 0; i < 8; ++i) EXPECT_NEAR(row[i], xt(i, 0), 1e-8);
+}
+
+TEST(PartialPivLU, DetectsExactSingularity) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;  // third row/col zero
+  PartialPivLU f(a);
+  EXPECT_TRUE(f.singular());
+  EXPECT_EQ(f.rcond_estimate(), 0.0);
+}
+
+TEST(PartialPivLU, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;  // antidiagonal: needs the row swap
+  PartialPivLU f(a);
+  EXPECT_FALSE(f.singular());
+  Matrix b(2, 1);
+  b(0, 0) = 3.0;
+  b(1, 0) = 5.0;
+  const Matrix x = f.solve(b);
+  EXPECT_NEAR(x(0, 0), 5.0, 1e-14);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-14);
+}
+
+TEST(PartialPivLU, RcondReasonableForIdentity) {
+  PartialPivLU f(Matrix::identity(5));
+  EXPECT_NEAR(f.rcond_estimate(), 1.0, 1e-14);
+}
+
+TEST(PartialPivLU, IllConditionedHasSmallRcond) {
+  Matrix a = Matrix::identity(4);
+  a(3, 3) = 1e-13;
+  PartialPivLU f(a);
+  EXPECT_LT(f.rcond_estimate(), 1e-12);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,109 @@
+#include "dense/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix a(3, 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix i = Matrix::identity(5);
+  for (Index r = 0; r < 5; ++r)
+    for (Index c = 0; c < 5; ++c) EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix a(3, 2);
+  a(2, 1) = 7.0;
+  EXPECT_EQ(a.data()[2 + 1 * 3], 7.0);
+  EXPECT_EQ(a.col(1)[2], 7.0);
+}
+
+TEST(Matrix, GaussianReproducible) {
+  const Matrix a = Matrix::gaussian(10, 10, 5, 1);
+  const Matrix b = Matrix::gaussian(10, 10, 5, 1);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  const Matrix c = Matrix::gaussian(10, 10, 5, 2);
+  EXPECT_GT(max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, BlockExtractAndSet) {
+  Matrix a = testing::random_matrix(6, 7, 1);
+  const Matrix b = a.block(1, 2, 3, 4);
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(b(i, j), a(1 + i, 2 + j));
+  Matrix c(6, 7);
+  c.set_block(1, 2, b);
+  EXPECT_EQ(c(1, 2), a(1, 2));
+  EXPECT_EQ(c(3, 5), a(3, 5));
+  EXPECT_EQ(c(0, 0), 0.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = testing::random_matrix(5, 8, 2);
+  testing::expect_near_matrix(a.transposed().transposed(), a, 0.0);
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 8);
+  EXPECT_EQ(t.cols(), 5);
+  EXPECT_EQ(t(3, 2), a(2, 3));
+}
+
+TEST(Matrix, AppendColsAndRows) {
+  Matrix a = testing::random_matrix(4, 2, 3);
+  const Matrix b = testing::random_matrix(4, 3, 4);
+  Matrix ab = a;
+  ab.append_cols(b);
+  EXPECT_EQ(ab.cols(), 5);
+  EXPECT_EQ(ab(2, 1), a(2, 1));
+  EXPECT_EQ(ab(2, 3), b(2, 1));
+
+  Matrix r = a;
+  const Matrix c = testing::random_matrix(2, 2, 5);
+  r.append_rows(c);
+  EXPECT_EQ(r.rows(), 6);
+  EXPECT_EQ(r(5, 1), c(1, 1));
+}
+
+TEST(Matrix, AppendToEmpty) {
+  Matrix e;
+  const Matrix b = testing::random_matrix(4, 3, 6);
+  e.append_cols(b);
+  testing::expect_near_matrix(e, b, 0.0);
+  Matrix e2;
+  e2.append_rows(b);
+  testing::expect_near_matrix(e2, b, 0.0);
+}
+
+TEST(Matrix, FrobeniusNormMatchesManualSum) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, Scale) {
+  Matrix a = Matrix::identity(3);
+  a.scale(2.5);
+  EXPECT_EQ(a(1, 1), 2.5);
+  EXPECT_EQ(a(0, 1), 0.0);
+}
+
+TEST(Matrix, EmptyShapes) {
+  Matrix a(0, 5);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.frobenius_norm(), 0.0);
+  Matrix b(5, 0);
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,75 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_rank.hpp"
+#include "dense/blas.hpp"
+#include "dense/svd.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "sparse/ops.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(SpectralNorm, MatchesLargestSingularValue) {
+  const auto sigma = geometric_spectrum(120, 7.0, 0.9);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 4});
+  EXPECT_NEAR(spectral_norm_estimate(a, 60), 7.0, 0.05);
+}
+
+TEST(SpectralNorm, ZeroMatrix) {
+  CscMatrix a(10, 10);
+  EXPECT_EQ(spectral_norm_estimate(a), 0.0);
+}
+
+TEST(ResidualSpectralNorm, ZeroForExactFactorization) {
+  const Matrix h = testing::random_matrix(15, 4, 5);
+  const Matrix w = testing::random_matrix(4, 15, 6);
+  const CscMatrix a = CscMatrix::from_dense(matmul(h, w));
+  EXPECT_LT(residual_spectral_norm(a, h, w, 40), 1e-8);
+}
+
+TEST(ResidualSpectralNorm, MatchesDenseComputation) {
+  const CscMatrix a =
+      CscMatrix::from_dense(testing::random_matrix(25, 20, 7), 0.5);
+  const Matrix h = testing::random_matrix(25, 3, 8);
+  const Matrix w = testing::random_matrix(3, 20, 9);
+  Matrix res = a.to_dense();
+  gemm(res, h, w, -1.0, 1.0);
+  const double exact = singular_values(res).front();
+  EXPECT_NEAR(residual_spectral_norm(a, h, w, 80), exact, 0.02 * exact);
+}
+
+TEST(Assess, FullReportOnKnownSpectrum) {
+  const auto sigma = geometric_spectrum(100, 3.0, 0.85);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 11});
+  const RandQbResult qb = randqb_fixed_rank(a, 30, [] {
+    RandQbOptions o;
+    o.power = 2;
+    return o;
+  }());
+  const ApproxQuality q = assess_approximation(a, qb.q, qb.b, sigma, 5);
+  EXPECT_EQ(q.rank, 30);
+  EXPECT_GT(q.fro_error_rel, 0.0);
+  EXPECT_LT(q.fro_error_rel, 1.0);
+  EXPECT_LE(q.spectral_error_abs, q.fro_error_abs * 1.05);
+  ASSERT_EQ(q.sv_ratios.size(), 5u);
+  for (double r : q.sv_ratios) EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST(Assess, EmptyFactorsGiveFullError) {
+  const CscMatrix a =
+      CscMatrix::from_dense(testing::random_matrix(12, 12, 13), 0.3);
+  const Matrix h(12, 0);
+  const Matrix w(0, 12);
+  const ApproxQuality q = assess_approximation(a, h, w);
+  EXPECT_NEAR(q.fro_error_rel, 1.0, 1e-12);
+  EXPECT_EQ(q.rank, 0);
+}
+
+}  // namespace
+}  // namespace lra

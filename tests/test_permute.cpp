@@ -1,0 +1,90 @@
+#include "sparse/permute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Perm, IdentityAndValidity) {
+  const Perm p = identity_perm(5);
+  EXPECT_TRUE(is_permutation(p));
+  for (Index i = 0; i < 5; ++i) EXPECT_EQ(p[i], i);
+  EXPECT_FALSE(is_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_permutation({0, 3}));
+  EXPECT_FALSE(is_permutation({-1, 0}));
+}
+
+TEST(Perm, InvertRoundtrip) {
+  const Perm p = {2, 0, 3, 1};
+  const Perm inv = invert(p);
+  EXPECT_TRUE(is_permutation(inv));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(inv[p[i]], static_cast<Index>(i));
+    EXPECT_EQ(p[inv[i]], static_cast<Index>(i));
+  }
+}
+
+TEST(Perm, ComposeAppliesInOrder) {
+  const Perm first = {2, 0, 1};   // B(:,j) = A(:, first[j])
+  const Perm second = {1, 2, 0};  // C(:,j) = B(:, second[j])
+  const Perm both = compose(first, second);
+  // C(:,j) = A(:, first[second[j]]).
+  EXPECT_EQ(both[0], first[second[0]]);
+  EXPECT_EQ(both[1], first[second[1]]);
+  EXPECT_EQ(both[2], first[second[2]]);
+}
+
+TEST(Permute, ColumnsMatchesSelect) {
+  const Matrix d = testing::random_matrix(6, 4, 121);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.4);
+  const Perm p = {3, 1, 0, 2};
+  const CscMatrix b = permute_columns(a, p);
+  const Matrix ad = a.to_dense();
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 6; ++i) EXPECT_EQ(b.to_dense()(i, j), ad(i, p[j]));
+}
+
+TEST(Permute, RowsMatchDense) {
+  const Matrix d = testing::random_matrix(5, 5, 122);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.4);
+  const Perm p = {4, 2, 0, 1, 3};
+  const CscMatrix b = permute_rows(a, p);
+  EXPECT_TRUE(b.structurally_valid());
+  const Matrix ad = a.to_dense();
+  for (Index j = 0; j < 5; ++j)
+    for (Index i = 0; i < 5; ++i) EXPECT_EQ(b.to_dense()(i, j), ad(p[i], j));
+}
+
+TEST(Permute, BothSidesAtOnce) {
+  const Matrix d = testing::random_matrix(5, 4, 123);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.2);
+  const Perm rp = {3, 0, 4, 1, 2};
+  const Perm cp = {1, 3, 0, 2};
+  const CscMatrix b = permute(a, rp, cp);
+  const Matrix ad = a.to_dense();
+  const Matrix bd = b.to_dense();
+  for (Index j = 0; j < 4; ++j)
+    for (Index i = 0; i < 5; ++i) EXPECT_EQ(bd(i, j), ad(rp[i], cp[j]));
+}
+
+TEST(Permute, DenseRowsVariant) {
+  const Matrix d = testing::random_matrix(4, 3, 124);
+  const Perm p = {2, 3, 0, 1};
+  const Matrix b = permute_rows(d, p);
+  for (Index j = 0; j < 3; ++j)
+    for (Index i = 0; i < 4; ++i) EXPECT_EQ(b(i, j), d(p[i], j));
+}
+
+TEST(Permute, RoundtripThroughInverse) {
+  const Matrix d = testing::random_matrix(6, 6, 125);
+  const CscMatrix a = CscMatrix::from_dense(d, 0.5);
+  const Perm rp = {5, 3, 1, 0, 4, 2};
+  const Perm cp = {2, 4, 0, 5, 1, 3};
+  const CscMatrix b = permute(permute(a, rp, cp), invert(rp), invert(cp));
+  testing::expect_near_matrix(b.to_dense(), a.to_dense(), 0.0);
+}
+
+}  // namespace
+}  // namespace lra

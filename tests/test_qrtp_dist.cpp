@@ -1,0 +1,131 @@
+// Direct tests of the distributed QR_TP tournament (qrtp/qrtp_dist.hpp),
+// independent of the LU_CRTP driver that uses it.
+
+#include "qrtp/qrtp_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dense/qr.hpp"
+#include "dense/svd.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "qrtp/tournament.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix graded(Index n, std::uint64_t seed) {
+  auto sigma = geometric_spectrum(n, 5.0, 0.9);
+  return givens_spray(sigma, {.left_passes = 2, .right_passes = 2,
+                              .bandwidth = 0, .seed = seed});
+}
+
+// Partition columns round-robin over ranks.
+CandidateColumns local_part(const CscMatrix& a, int nranks, int rank) {
+  std::vector<Index> mine;
+  for (Index j = 0; j < a.cols(); ++j)
+    if (static_cast<int>(j % nranks) == rank) mine.push_back(j);
+  CandidateColumns c;
+  c.global_index = mine;
+  c.cols = a.select_columns(mine);
+  return c;
+}
+
+class DistTp : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistTp, AllRanksAgreeOnWinners) {
+  const int np = GetParam();
+  const CscMatrix a = graded(120, 31);
+  const Index k = 8;
+  std::vector<std::vector<Index>> per_rank(static_cast<std::size_t>(np));
+  SimWorld world(np);
+  world.run([&](RankCtx& ctx) {
+    const CandidateColumns win =
+        qr_tp_dist(ctx, local_part(a, np, ctx.rank()), k, "col_qrtp");
+    per_rank[static_cast<std::size_t>(ctx.rank())] = win.global_index;
+  });
+  for (int r = 1; r < np; ++r) EXPECT_EQ(per_rank[r], per_rank[0]);
+  EXPECT_EQ(per_rank[0].size(), 8u);
+  EXPECT_EQ(std::set<Index>(per_rank[0].begin(), per_rank[0].end()).size(), 8u);
+}
+
+TEST_P(DistTp, WinnersAreWellConditioned) {
+  const int np = GetParam();
+  const CscMatrix a = graded(120, 37);
+  const Index k = 6;
+  std::vector<Index> winners;
+  SimWorld world(np);
+  world.run([&](RankCtx& ctx) {
+    const CandidateColumns win =
+        qr_tp_dist(ctx, local_part(a, np, ctx.rank()), k, "col_qrtp");
+    if (ctx.rank() == 0) winners = win.global_index;
+  });
+  // sigma_min of the winning block within a modest factor of the
+  // sequential tournament's pick (different tree shapes may differ).
+  const auto seq = qr_tp_select(a, k);
+  const double s_dist =
+      singular_values(a.select_columns(winners).to_dense()).back();
+  const double s_seq =
+      singular_values(a.select_columns(seq).to_dense()).back();
+  EXPECT_GT(s_dist, 0.05 * s_seq);
+}
+
+TEST_P(DistTp, RowTournamentAgreesAcrossRanks) {
+  const int np = GetParam();
+  const Matrix q = orth(testing::random_matrix(96, 6, 41));
+  std::vector<std::vector<Index>> per_rank(static_cast<std::size_t>(np));
+  SimWorld world(np);
+  world.run([&](RankCtx& ctx) {
+    // Contiguous row slices.
+    const Index per = 96 / ctx.size();
+    const Index lo = ctx.rank() * per;
+    const Index hi = ctx.rank() + 1 == ctx.size() ? 96 : lo + per;
+    Matrix slice = q.block(lo, 0, hi - lo, 6);
+    std::vector<Index> ids(static_cast<std::size_t>(hi - lo));
+    std::iota(ids.begin(), ids.end(), lo);
+    per_rank[static_cast<std::size_t>(ctx.rank())] =
+        qr_tp_rows_dist(ctx, slice, ids, 6, "row_qrtp");
+  });
+  for (int r = 1; r < np; ++r) EXPECT_EQ(per_rank[r], per_rank[0]);
+  // Selected rows form a nonsingular block of the orthonormal Q.
+  Matrix block(6, 6);
+  for (Index i = 0; i < 6; ++i)
+    for (Index j = 0; j < 6; ++j) block(i, j) = q(per_rank[0][i], j);
+  EXPECT_GT(singular_values(block).back(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistTp, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(DistTpSingleRank, MatchesSequentialSelection) {
+  const CscMatrix a = graded(80, 43);
+  const Index k = 8;
+  std::vector<Index> dist_win;
+  SimWorld world(1);
+  world.run([&](RankCtx& ctx) {
+    dist_win = qr_tp_dist(ctx, local_part(a, 1, 0), k, "t").global_index;
+  });
+  EXPECT_EQ(dist_win, qr_tp_select(a, k));
+}
+
+TEST(DistTp, FewerColumnsThanK) {
+  const CscMatrix a = graded(40, 47);
+  std::vector<Index> winners;
+  SimWorld world(4);
+  world.run([&](RankCtx& ctx) {
+    CandidateColumns local = local_part(a, 4, ctx.rank());
+    // Keep only 1 column per rank -> 4 candidates total, k = 8.
+    local.global_index.resize(1);
+    std::vector<Index> first = {0};
+    local.cols = local.cols.select_columns(first);
+    const CandidateColumns win = qr_tp_dist(ctx, local, 8, "t");
+    if (ctx.rank() == 0) winners = win.global_index;
+  });
+  EXPECT_EQ(winners.size(), 4u);
+}
+
+}  // namespace
+}  // namespace lra

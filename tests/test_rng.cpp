@@ -1,0 +1,100 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace lra {
+namespace {
+
+TEST(CounterRng, DeterministicForSameSeedAndStream) {
+  CounterRng a(123, 4), b(123, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CounterRng, DifferentStreamsDiffer) {
+  CounterRng a(123, 4), b(123, 5);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, DifferentSeedsDiffer) {
+  CounterRng a(1, 0), b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, SeekReplaysStream) {
+  CounterRng a(99, 1);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next());
+  a.seek(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), first[i]);
+  a.seek(5);
+  EXPECT_EQ(a.next(), first[5]);
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  CounterRng rng(7, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, UniformMeanAndVariance) {
+  CounterRng rng(7, 0);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(CounterRng, GaussianMoments) {
+  CounterRng rng(11, 0);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(CounterRng, UniformIntRespectsBound) {
+  CounterRng rng(13, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit
+}
+
+TEST(FillGaussian, MatchesStream) {
+  std::vector<double> a(64), b(64);
+  fill_gaussian(42, 3, a);
+  fill_gaussian(42, 3, b);
+  EXPECT_EQ(a, b);
+  fill_gaussian(42, 4, b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,98 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/ilut_crtp.hpp"
+#include "core/randqb_ei.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+CscMatrix test_matrix() {
+  return givens_spray(geometric_spectrum(120, 5.0, 0.9),
+                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
+                       .seed = 3});
+}
+
+TEST(Serialize, LuRoundTripPreservesEverything) {
+  const CscMatrix a = test_matrix();
+  LuCrtpOptions o;
+  o.block_size = 10;
+  o.tau = 1e-2;
+  const LuCrtpResult r = ilut_crtp(a, o);
+  const std::string path = ::testing::TempDir() + "/lra_lu.fact";
+  save_factorization(path, r);
+  EXPECT_EQ(stored_factorization_kind(path), "lu");
+  const LuCrtpResult back = load_lu_factorization(path);
+  EXPECT_EQ(back.rank, r.rank);
+  EXPECT_EQ(back.iterations, r.iterations);
+  EXPECT_EQ(back.status, r.status);
+  EXPECT_EQ(back.row_perm, r.row_perm);
+  EXPECT_EQ(back.col_perm, r.col_perm);
+  EXPECT_DOUBLE_EQ(back.mu, r.mu);
+  testing::expect_near_matrix(back.l.to_dense(), r.l.to_dense(), 0.0);
+  testing::expect_near_matrix(back.u.to_dense(), r.u.to_dense(), 0.0);
+  // The reloaded factorization verifies identically.
+  EXPECT_DOUBLE_EQ(lu_crtp_exact_error(a, back), lu_crtp_exact_error(a, r));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, QbRoundTrip) {
+  const CscMatrix a = test_matrix();
+  RandQbOptions o;
+  o.block_size = 10;
+  o.tau = 1e-2;
+  const RandQbResult r = randqb_ei(a, o);
+  const std::string path = ::testing::TempDir() + "/lra_qb.fact";
+  save_factorization(path, r);
+  EXPECT_EQ(stored_factorization_kind(path), "qb");
+  const RandQbResult back = load_qb_factorization(path);
+  EXPECT_EQ(back.rank, r.rank);
+  EXPECT_EQ(max_abs_diff(back.q, r.q), 0.0);
+  EXPECT_EQ(max_abs_diff(back.b, r.b), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CscRoundTrip) {
+  const CscMatrix a = test_matrix();
+  const std::string path = ::testing::TempDir() + "/lra_mat.bin";
+  save_csc(path, a);
+  const CscMatrix back = load_csc(path);
+  EXPECT_EQ(back.nnz(), a.nnz());
+  testing::expect_near_matrix(back.to_dense(), a.to_dense(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, KindMismatchThrows) {
+  const CscMatrix a = test_matrix();
+  const std::string path = ::testing::TempDir() + "/lra_mix.fact";
+  save_csc(path, a);
+  EXPECT_THROW(load_lu_factorization(path), std::runtime_error);
+  EXPECT_THROW(load_qb_factorization(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/lra_garbage.fact";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a factorization", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(stored_factorization_kind(path), std::runtime_error);
+  EXPECT_THROW(load_csc(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_lu_factorization("/nonexistent/x.fact"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lra

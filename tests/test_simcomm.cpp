@@ -1,0 +1,182 @@
+#include "par/simcomm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+namespace lra {
+namespace {
+
+class WorldSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorldSizes, AllreduceSumIsGlobal) {
+  SimWorld w(GetParam());
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    const double s = ctx.allreduce_sum(static_cast<double>(ctx.rank() + 1));
+    const double expect = ctx.size() * (ctx.size() + 1) / 2.0;
+    if (s != expect) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(WorldSizes, AllreduceMax) {
+  SimWorld w(GetParam());
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    const double m = ctx.allreduce_max(static_cast<double>(ctx.rank()));
+    if (m != ctx.size() - 1) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(WorldSizes, AllgatherOrdersByRank) {
+  SimWorld w(GetParam());
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    const auto all = ctx.allgather(static_cast<long long>(ctx.rank() * 10));
+    for (int r = 0; r < ctx.size(); ++r)
+      if (all[r] != 10LL * r) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(WorldSizes, AllgathervConcatenatesVariableSizes) {
+  SimWorld w(GetParam());
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    std::vector<double> mine(static_cast<std::size_t>(ctx.rank() + 1),
+                             static_cast<double>(ctx.rank()));
+    const auto all = ctx.allgatherv(mine);
+    std::size_t expect_len = 0;
+    for (int r = 0; r < ctx.size(); ++r) expect_len += r + 1;
+    if (all.size() != expect_len) ++failures;
+    // Block r should contain value r repeated r+1 times.
+    std::size_t pos = 0;
+    for (int r = 0; r < ctx.size(); ++r)
+      for (int t = 0; t <= r; ++t)
+        if (all[pos++] != r) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(WorldSizes, BcastDeliversRootPayload) {
+  SimWorld w(GetParam());
+  std::atomic<int> failures{0};
+  const int root = GetParam() - 1;
+  w.run([&](RankCtx& ctx) {
+    std::vector<std::byte> buf;
+    if (ctx.rank() == root) {
+      buf.resize(3);
+      buf[0] = std::byte{7};
+      buf[2] = std::byte{9};
+    }
+    ctx.bcast_bytes(buf, root);
+    if (buf.size() != 3 || buf[0] != std::byte{7} || buf[2] != std::byte{9})
+      ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorldSizes, ::testing::Values(1, 2, 3, 4, 8, 16));
+
+TEST(SimComm, PointToPointDelivers) {
+  SimWorld w(2);
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<double>(1, {1.5, 2.5}, 3);
+    } else {
+      const auto v = ctx.recv<double>(0, 3);
+      if (v.size() != 2 || v[0] != 1.5 || v[1] != 2.5) ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(SimComm, TagsAreRespected) {
+  SimWorld w(2);
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, {111}, 1);
+      ctx.send<int>(1, {222}, 2);
+    } else {
+      // Receive out of order by tag.
+      if (ctx.recv<int>(0, 2)[0] != 222) ++failures;
+      if (ctx.recv<int>(0, 1)[0] != 111) ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(SimComm, VirtualTimeAdvancesWithComm) {
+  SimWorld w(4);
+  w.run([&](RankCtx& ctx) {
+    const double t0 = ctx.vtime();
+    ctx.barrier();
+    EXPECT_GT(ctx.vtime(), t0);
+  });
+  EXPECT_GT(w.elapsed_virtual(), 0.0);
+}
+
+TEST(SimComm, CollectiveSynchronizesClocks) {
+  SimWorld w(3);
+  std::atomic<int> failures{0};
+  w.run([&](RankCtx& ctx) {
+    ctx.charge(ctx.rank() * 0.5);  // skew the clocks
+    ctx.barrier();
+    // All clocks must now be at least the max skew (1.0).
+    if (ctx.vtime() < 1.0) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(SimComm, ReceiverWaitsForSenderVirtualTime) {
+  SimWorld w(2);
+  w.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.charge(2.0);  // sender is "slow"
+      ctx.send<int>(1, {1});
+    } else {
+      (void)ctx.recv<int>(0);
+      EXPECT_GE(ctx.vtime(), 2.0);
+    }
+  });
+}
+
+TEST(SimComm, ComputeChargesKernelTimers) {
+  SimWorld w(2);
+  w.run([&](RankCtx& ctx) {
+    ctx.compute("work", [&] {
+      volatile double s = 0.0;
+      for (int i = 0; i < 2000000; ++i) s += std::sqrt(static_cast<double>(i));
+    });
+  });
+  const auto& kt = w.kernel_times_max();
+  ASSERT_TRUE(kt.count("work"));
+  EXPECT_GT(kt.at("work"), 0.0);
+  EXPECT_GE(w.elapsed_virtual(), kt.at("work"));
+}
+
+TEST(SimComm, ExceptionsPropagateToCaller) {
+  SimWorld w(1);  // single rank: no peers stuck in collectives
+  EXPECT_THROW(
+      w.run([&](RankCtx&) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(CostModelTest, MonotoneInSizeAndRanks) {
+  CostModel cm;
+  EXPECT_GT(cm.p2p(1000), cm.p2p(10));
+  EXPECT_GT(cm.tree(8, 100), cm.tree(2, 100));
+  EXPECT_EQ(cm.tree(1, 100), 0.0);
+  EXPECT_EQ(CostModel::ceil_log2(1), 0);
+  EXPECT_EQ(CostModel::ceil_log2(2), 1);
+  EXPECT_EQ(CostModel::ceil_log2(5), 3);
+  EXPECT_EQ(CostModel::ceil_log2(1024), 10);
+}
+
+}  // namespace
+}  // namespace lra

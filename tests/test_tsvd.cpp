@@ -1,0 +1,68 @@
+#include "core/tsvd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/svd.hpp"
+#include "gen/givens_spray.hpp"
+#include "gen/spectrum.hpp"
+#include "test_util.hpp"
+
+namespace lra {
+namespace {
+
+TEST(Tsvd, SparseSingularValuesMatchPrescribedSpectrum) {
+  const auto sigma = geometric_spectrum(80, 3.0, 0.9);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 41});
+  const auto sv = sparse_singular_values(a);
+  ASSERT_EQ(sv.size(), sigma.size());
+  for (std::size_t i = 0; i < sv.size(); ++i)
+    EXPECT_NEAR(sv[i], sigma[i], 1e-9 * sigma[0]);
+}
+
+TEST(Tsvd, MinRankMatchesSpectrumFormula) {
+  const auto sigma = geometric_spectrum(100, 1.0, 0.85);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 42});
+  EXPECT_EQ(tsvd_min_rank(a, 1e-2), min_rank_for_tolerance(sigma, 1e-2));
+}
+
+TEST(Tsvd, TruncationErrorEqualsTailNorm) {
+  // Eckart-Young: ||A - A_k||_F = sqrt(sum_{i>k} sigma_i^2).
+  const auto sigma = geometric_spectrum(40, 2.0, 0.8);
+  const CscMatrix a = givens_spray(
+      sigma, {.left_passes = 2, .right_passes = 2, .bandwidth = 0, .seed = 43});
+  const SvdResult svd = tsvd(a, 40);
+  for (Index k : {5, 10, 20}) {
+    double tail = 0.0;
+    for (std::size_t i = k; i < sigma.size(); ++i) tail += sigma[i] * sigma[i];
+    EXPECT_NEAR(tsvd_error(a, svd, k), std::sqrt(tail), 1e-7 * sigma[0]);
+  }
+}
+
+TEST(Tsvd, FactorsAreOrthonormal) {
+  const CscMatrix a = CscMatrix::from_dense(testing::random_matrix(20, 12, 44));
+  const SvdResult svd = tsvd(a, 5);
+  EXPECT_EQ(svd.u.cols(), 5);
+  EXPECT_EQ(svd.v.cols(), 5);
+  EXPECT_LT(testing::orthogonality_defect(svd.u), 1e-10);
+  EXPECT_LT(testing::orthogonality_defect(svd.v), 1e-10);
+}
+
+TEST(Tsvd, TsvdIsOptimalAmongTestedFactorizations) {
+  // Any rank-k factorization (e.g. from QR on the leading columns) cannot
+  // beat the TSVD error.
+  const CscMatrix a = CscMatrix::from_dense(testing::random_matrix(25, 25, 45));
+  const SvdResult svd = tsvd(a, 25);
+  const double e_tsvd = tsvd_error(a, svd, 6);
+  // Crude competitor: first 6 columns exactly, rest zero.
+  double competitor_sq = 0.0;
+  for (Index j = 6; j < 25; ++j)
+    for (double v : a.col_values(j)) competitor_sq += v * v;
+  EXPECT_LE(e_tsvd, std::sqrt(competitor_sq) + 1e-12);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+
+namespace lra::testing {
+
+/// Naive triple-loop reference GEMM for validating the blocked kernels.
+inline Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (Index p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+inline void expect_near_matrix(const Matrix& a, const Matrix& b, double tol,
+                               const char* what = "") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_LE(max_abs_diff(a, b), tol) << what;
+}
+
+/// ||Q^T Q - I||_max.
+inline double orthogonality_defect(const Matrix& q) {
+  const Matrix g = matmul_tn(q, q);
+  double d = 0.0;
+  for (Index i = 0; i < g.rows(); ++i)
+    for (Index j = 0; j < g.cols(); ++j)
+      d = std::max(d, std::fabs(g(i, j) - (i == j ? 1.0 : 0.0)));
+  return d;
+}
+
+/// Random dense matrix with controlled seed.
+inline Matrix random_matrix(Index m, Index n, std::uint64_t seed) {
+  return Matrix::gaussian(m, n, seed);
+}
+
+}  // namespace lra::testing

@@ -1,0 +1,16 @@
+# CTest script driving the full lra_cli workflow.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(mtx ${WORK_DIR}/cli_test.mtx)
+set(fact ${WORK_DIR}/cli_test.fact)
+run(${LRA_CLI} generate --preset=M1 --scale=0.08 --out=${mtx})
+run(${LRA_CLI} info --mtx=${mtx})
+run(${LRA_CLI} approx --mtx=${mtx} --method=ilut --tau=1e-2 --out=${fact})
+run(${LRA_CLI} verify --mtx=${mtx} --fact=${fact})
+file(REMOVE ${mtx} ${fact})

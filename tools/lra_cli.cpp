@@ -1,0 +1,142 @@
+// lra_cli — command-line front end for the library.
+//
+//   lra_cli generate --preset=M2 [--scale=0.25] --out=a.mtx
+//       Emit a synthetic test matrix (MatrixMarket).
+//   lra_cli info --mtx=a.mtx
+//       Structural summary + leading singular values (randomized probe).
+//   lra_cli approx --mtx=a.mtx [--method=auto|randqb|lu|ilut|ubv]
+//             [--tau=1e-3] [--k=32] [--out=fact.bin]
+//       Fixed-precision approximation; optionally store the factors.
+//   lra_cli verify --mtx=a.mtx --fact=fact.bin
+//       Reload stored factors and report the exact achieved error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/driver.hpp"
+#include "core/fixed_rank.hpp"
+#include "core/metrics.hpp"
+#include "core/serialize.hpp"
+#include "dense/svd.hpp"
+#include "gen/presets.hpp"
+#include "sparse/io_mm.hpp"
+#include "sparse/ops.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace lra;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lra_cli <generate|info|approx|verify> [--flags]\n"
+               "see the header of tools/lra_cli.cpp for details\n");
+  return 2;
+}
+
+int cmd_generate(const Cli& cli) {
+  const std::string preset = cli.get("preset", "M1");
+  const double scale = cli.get_double("scale", 0.25);
+  const std::string out = cli.get("out", preset + ".mtx");
+  const TestMatrix t = make_preset(preset, scale);
+  write_matrix_market(t.a, out);
+  std::printf("%s' (%s, %s): %ld x %ld, %ld nnz -> %s\n", t.label.c_str(),
+              t.analog_of.c_str(), t.description.c_str(), t.a.rows(),
+              t.a.cols(), t.a.nnz(), out.c_str());
+  return 0;
+}
+
+int cmd_info(const Cli& cli) {
+  const CscMatrix a = read_matrix_market(cli.get("mtx", ""));
+  std::printf("size      : %ld x %ld\n", a.rows(), a.cols());
+  std::printf("nnz       : %ld (density %.5f, %.1f per row)\n", a.nnz(),
+              a.density(),
+              static_cast<double>(a.nnz()) / static_cast<double>(a.rows()));
+  std::printf("||A||_F   : %.6e\n", a.frobenius_norm());
+  std::printf("||A||_2   : %.6e (power-iteration estimate)\n",
+              spectral_norm_estimate(a));
+  // Leading singular values via a small randomized probe.
+  const Index probe = std::min<Index>(10, std::min(a.rows(), a.cols()));
+  const Matrix q = rrf(a, probe, 2);
+  const Matrix b = spmm_t(a, q).transposed();
+  const auto sv = singular_values(b);
+  std::printf("leading singular values (randomized, p=2):\n  ");
+  for (double s : sv) std::printf("%.4e ", s);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_approx(const Cli& cli) {
+  const CscMatrix a = read_matrix_market(cli.get("mtx", ""));
+  ApproxOptions o;
+  o.method = method_from_string(cli.get("method", "auto"));
+  o.tau = cli.get_double("tau", 1e-3);
+  o.block_size = cli.get_int("k", 32);
+  o.power = static_cast<int>(cli.get_int("p", 1));
+
+  Stopwatch clock;
+  const LowRankApprox approx = approximate(a, o);
+  std::printf("method    : %s\n", to_string(approx.method()));
+  std::printf("status    : %s\n", to_string(approx.status()));
+  std::printf("rank      : %ld in %.2fs\n", approx.rank(), clock.seconds());
+  std::printf("indicator : %.3e (target %.3e)\n", approx.indicator_rel(),
+              o.tau);
+  std::printf("factor sz : %ld stored values (input nnz %ld)\n",
+              approx.factor_values(), a.nnz());
+
+  const std::string out = cli.get("out", "");
+  if (!out.empty()) {
+    if (const auto* lu = approx.as_lu()) {
+      save_factorization(out, *lu);
+    } else if (const auto* qb = approx.as_randqb()) {
+      save_factorization(out, *qb);
+    } else {
+      std::fprintf(stderr, "storing %s factorizations is not supported\n",
+                   to_string(approx.method()));
+      return 1;
+    }
+    std::printf("factors   -> %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(const Cli& cli) {
+  const CscMatrix a = read_matrix_market(cli.get("mtx", ""));
+  const std::string path = cli.get("fact", "");
+  const std::string kind = stored_factorization_kind(path);
+  double err = 0.0;
+  Index rank = 0;
+  if (kind == "lu") {
+    const LuCrtpResult r = load_lu_factorization(path);
+    err = lu_crtp_exact_error(a, r);
+    rank = r.rank;
+  } else {
+    const RandQbResult r = load_qb_factorization(path);
+    err = randqb_exact_error(a, r);
+    rank = r.rank;
+  }
+  std::printf("kind      : %s\n", kind.c_str());
+  std::printf("rank      : %ld\n", rank);
+  std::printf("rel error : %.6e\n", err / a.frobenius_norm());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const lra::Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "generate") return cmd_generate(cli);
+    if (cmd == "info") return cmd_info(cli);
+    if (cmd == "approx") return cmd_approx(cli);
+    if (cmd == "verify") return cmd_verify(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
