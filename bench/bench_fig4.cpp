@@ -5,6 +5,7 @@
 //
 //   ./bench_fig4 [--scale=0.2] [--np=1,2,4,8,16,32] [--k_left=16]
 //                [--k_right=32] [--tau_left=1e-4] [--tau_right=1e-3]
+//                [--report=fig4.jsonl]
 
 #include "bench_util.hpp"
 #include "core/lu_crtp_dist.hpp"
@@ -15,7 +16,8 @@ namespace {
 using namespace lra;
 
 void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
-                   const std::vector<long long>& nps) {
+                   const std::vector<long long>& nps,
+                   obs::ReportWriter* report) {
   std::printf("running %s' (%ld x %ld), k = %ld, tau = %.0e ...\n",
               m.label.c_str(), m.a.rows(), m.a.cols(), k, tau);
   const Index budget = std::min(m.a.rows(), m.a.cols()) * 9 / 10;
@@ -28,8 +30,10 @@ void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
     ro.tau = tau;
     ro.power = 1;
     ro.max_rank = budget;
-    const double t_qb =
-        randqb_ei_dist(m.a, ro, static_cast<int>(np)).virtual_seconds;
+    const DistRandQbResult dqb = randqb_ei_dist(m.a, ro, static_cast<int>(np));
+    const double t_qb = dqb.virtual_seconds;
+    bench::report_dist_run(report, m.label, "randqb_ei(p=1)",
+                           static_cast<int>(np), tau, dqb);
 
     LuCrtpOptions lo;
     lo.block_size = k;
@@ -37,12 +41,16 @@ void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
     lo.max_rank = budget;
     const DistLuResult lu = lu_crtp_dist(m.a, lo, static_cast<int>(np));
     if (np == nps.front()) lu_its = lu.result.iterations;
+    bench::report_dist_run(report, m.label, "lu_crtp", static_cast<int>(np),
+                           tau, lu);
 
     LuCrtpOptions io = lo;
     io.threshold = ThresholdMode::kIlut;
     io.estimated_iterations = lu_its;
-    const double t_il =
-        lu_crtp_dist(m.a, io, static_cast<int>(np)).virtual_seconds;
+    const DistLuResult il = lu_crtp_dist(m.a, io, static_cast<int>(np));
+    const double t_il = il.virtual_seconds;
+    bench::report_dist_run(report, m.label, "ilut_crtp", static_cast<int>(np),
+                           tau, il);
 
     if (np == nps.front()) {
       base_qb = t_qb;
@@ -73,19 +81,27 @@ int main(int argc, char** argv) {
   const double tau_left = cli.get_double("tau_left", 1e-4);
   const double tau_right = cli.get_double("tau_right", 1e-3);
 
+  auto report = bench::open_report(cli, "bench_fig4");
+
   bench::print_header("Fig. 4: strong scaling (speedup over np = 1)",
                       "Fig. 4 of the paper (left: M2; right: M4, M5)");
 
   Table t({"label", "np", "speedup RandQB_EI", "speedup LU_CRTP",
            "speedup ILUT_CRTP", "t_qb (s)", "t_lu (s)", "t_ilut (s)"});
 
-  scaling_block(t, make_preset("M2", scale), k_left, tau_left, nps);
-  scaling_block(t, make_preset("M4", scale), k_right, tau_right, nps);
-  scaling_block(t, make_preset("M5", scale), k_right, tau_right, nps);
+  scaling_block(t, make_preset("M2", scale), k_left, tau_left, nps,
+                report.get());
+  scaling_block(t, make_preset("M4", scale), k_right, tau_right, nps,
+                report.get());
+  scaling_block(t, make_preset("M5", scale), k_right, tau_right, nps,
+                report.get());
 
   std::printf("\n");
   t.print(std::cout);
   t.write_csv("fig4.csv");
   std::printf("\nwrote fig4.csv\n");
+  if (report)
+    std::printf("wrote %s (%d records)\n", cli.get("report", "").c_str(),
+                report->records());
   return 0;
 }

@@ -11,6 +11,7 @@
 // non-convergence within the rank budget, as in the paper.
 //
 //   ./bench_table2 [--scale=0.25] [--np=8] [--k=32] [--matrices=M1,...]
+//                  [--report=table2.jsonl]
 
 #include <cmath>
 
@@ -47,6 +48,8 @@ int main(int argc, char** argv) {
   const int np = static_cast<int>(cli.get_int("np", 8));
   const Index k = cli.get_int("k", 16);
 
+  auto report = bench::open_report(cli, "bench_table2");
+
   bench::print_header("Table II: runtime per correct digit",
                       "Table II of the paper");
   std::printf("np = %d simulated ranks, block size k = %ld, scale = %.2f\n\n",
@@ -72,6 +75,20 @@ int main(int argc, char** argv) {
     uo.tau = tau_min;
     uo.max_rank = budget;
     const RandUbvResult ubv = randubv(m.a, uo);
+    if (report) {
+      obs::JsonObj rec;
+      rec.field("type", "summary")
+          .field("matrix", label)
+          .field("method", "randubv")
+          .field("np", 1)
+          .field("tau", tau_min)
+          .field("status", to_string(ubv.status))
+          .field("rank", static_cast<long long>(ubv.rank))
+          .field("iterations", static_cast<long long>(ubv.iterations))
+          .field("indicator_rel",
+                 ubv.anorm_f > 0.0 ? ubv.indicator / ubv.anorm_f : 0.0);
+      report->write(rec);
+    }
 
     // --- RandQB_EI with p = 0, 1, 2 ---
     std::vector<DistRandQbResult> qb;
@@ -82,6 +99,9 @@ int main(int argc, char** argv) {
       ro.power = p;
       ro.max_rank = budget;
       qb.push_back(randqb_ei_dist(m.a, ro, np));
+      bench::report_dist_run(report.get(), label,
+                             "randqb_ei(p=" + std::to_string(p) + ")", np,
+                             tau_min, qb.back());
     }
 
     // --- LU_CRTP ---
@@ -90,6 +110,7 @@ int main(int argc, char** argv) {
     lo.tau = tau_min;
     lo.max_rank = budget;
     const DistLuResult lu = lu_crtp_dist(m.a, lo, np);
+    bench::report_dist_run(report.get(), label, "lu_crtp", np, tau_min, lu);
 
     for (const double tau : taus) {
       const long long its_lu = its_for_tau(lu.iter_indicator, tau);
@@ -104,6 +125,7 @@ int main(int argc, char** argv) {
         io.threshold = ThresholdMode::kIlut;
         io.estimated_iterations = its_lu;
         const DistLuResult il = lu_crtp_dist(m.a, io, np);
+        bench::report_dist_run(report.get(), label, "ilut_crtp", np, tau, il);
         if (il.result.status == Status::kConverged) {
           char buf[32];
           std::snprintf(buf, sizeof(buf), "%.3g", il.virtual_seconds);
@@ -143,5 +165,8 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   t.write_csv("table2.csv");
   std::printf("\nwrote table2.csv\n");
+  if (report)
+    std::printf("wrote %s (%d records)\n", cli.get("report", "").c_str(),
+                report->records());
   return 0;
 }

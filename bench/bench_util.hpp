@@ -3,10 +3,12 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gen/presets.hpp"
+#include "obs/report.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -40,6 +42,44 @@ inline void print_header(const char* what, const char* paper_ref) {
 /// "-" for sentinel values in tables.
 inline std::string or_dash(long long v, long long sentinel = -1) {
   return v == sentinel ? "-" : std::to_string(v);
+}
+
+/// JSONL report requested via --report=FILE (nullptr when absent); writes the
+/// leading "meta" record.
+inline std::unique_ptr<obs::ReportWriter> open_report(const Cli& cli,
+                                                      const char* tool) {
+  const std::string path = cli.get("report", "");
+  if (path.empty()) return nullptr;
+  auto w = std::make_unique<obs::ReportWriter>(path);
+  obs::JsonObj meta;
+  meta.field("type", "meta").field("tool", tool);
+  w->write(meta);
+  return w;
+}
+
+/// One "summary" record per distributed-engine invocation (DistRandQbResult,
+/// DistLuResult, DistRandUbvResult all fit this shape).
+template <typename DistResult>
+void report_dist_run(obs::ReportWriter* w, const std::string& matrix,
+                     const std::string& method, int np, double tau,
+                     const DistResult& d) {
+  if (!w) return;
+  obs::JsonObj rec;
+  rec.field("type", "summary")
+      .field("matrix", matrix)
+      .field("method", method)
+      .field("np", np)
+      .field("tau", tau)
+      .field("status", to_string(d.result.status))
+      .field("rank", static_cast<long long>(d.result.rank))
+      .field("iterations", static_cast<long long>(d.result.iterations))
+      .field("indicator_rel", d.result.anorm_f > 0.0
+                                  ? d.result.indicator / d.result.anorm_f
+                                  : 0.0)
+      .field("virtual_seconds", d.virtual_seconds)
+      .field("total_msgs", d.comm.total_msgs())
+      .field("total_bytes", d.comm.total_bytes());
+  w->write(rec);
 }
 
 }  // namespace lra::bench

@@ -59,6 +59,12 @@ Index LowRankApprox::factor_values() const {
   return ubv.u.size() + ubv.v.size() + ubv.b.size();
 }
 
+const obs::TelemetrySeries& LowRankApprox::telemetry() const {
+  return std::visit(
+      [](const auto& r) -> const obs::TelemetrySeries& { return r.telemetry; },
+      result_);
+}
+
 const RandQbResult* LowRankApprox::as_randqb() const {
   return std::get_if<RandQbResult>(&result_);
 }
@@ -112,21 +118,27 @@ void LowRankApprox::apply_transpose(const double* x, double* y) const {
   gemv(y, w, mid.data(), 1.0, 0.0, Trans::kYes);
 }
 
+Method choose_method(const CscMatrix& a, const ApproxOptions& opts) {
+  if (opts.method != Method::kAuto) return opts.method;
+  // Heuristic from the paper's conclusions: the deterministic methods pay
+  // off at coarse accuracy on sparse inputs (sparse factors, fewer
+  // iterations); at tight tolerances or denser inputs, fill-in risk makes
+  // RandQB_EI the safer default — with ILUT_CRTP as the sparse-factor
+  // middle ground.
+  if (opts.tau >= 1e-2 && a.density() < 0.05) return Method::kLuCrtp;
+  if (a.density() < 0.05) return Method::kIlutCrtp;
+  return Method::kRandQbEi;
+}
+
+Method choose_method_dist(const CscMatrix& a, const ApproxOptions& opts) {
+  if (opts.method != Method::kAuto) return opts.method;
+  if (opts.tau >= 1e-4)
+    return a.density() < 0.05 ? Method::kIlutCrtp : Method::kLuCrtp;
+  return Method::kRandQbEi;
+}
+
 LowRankApprox approximate(const CscMatrix& a, const ApproxOptions& opts) {
-  Method method = opts.method;
-  if (method == Method::kAuto) {
-    // Heuristic from the paper's conclusions: the deterministic methods pay
-    // off at coarse accuracy on sparse inputs (sparse factors, fewer
-    // iterations); at tight tolerances or denser inputs, fill-in risk makes
-    // RandQB_EI the safer default — with ILUT_CRTP as the sparse-factor
-    // middle ground.
-    if (opts.tau >= 1e-2 && a.density() < 0.05)
-      method = Method::kLuCrtp;
-    else if (a.density() < 0.05)
-      method = Method::kIlutCrtp;
-    else
-      method = Method::kRandQbEi;
-  }
+  const Method method = choose_method(a, opts);
 
   LowRankApprox out;
   out.method_ = method;

@@ -47,6 +47,9 @@ class LowRankApprox {
   double indicator_rel() const;
   /// Stored values in the factors (memory footprint proxy).
   Index factor_values() const;
+  /// Per-iteration convergence telemetry (empty when the method ran with
+  /// record_trace disabled). Uniform across all methods.
+  const obs::TelemetrySeries& telemetry() const;
 
   /// y = (H W) x — apply the approximation to a vector.
   void apply(const double* x, double* y) const;
@@ -69,6 +72,16 @@ class LowRankApprox {
   Index rows_ = 0, cols_ = 0;
   std::variant<RandQbResult, LuCrtpResult, RandUbvResult> result_;
 };
+
+/// Resolve Method::kAuto against the matrix (identity for explicit methods).
+Method choose_method(const CscMatrix& a, const ApproxOptions& opts);
+
+/// Auto resolution for the simulated-distributed engines. The paper's
+/// parallel story (Sections V-VI) inverts the sequential trade-off: the
+/// deterministic factorizations communicate less per unit of accuracy and
+/// win at coarse-to-moderate tolerances, while RandQB_EI takes over at
+/// tight tolerances where the CRTP accuracy stalls.
+Method choose_method_dist(const CscMatrix& a, const ApproxOptions& opts);
 
 /// Run the selected fixed-precision method on `a`.
 LowRankApprox approximate(const CscMatrix& a, const ApproxOptions& opts = {});

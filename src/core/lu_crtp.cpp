@@ -381,6 +381,16 @@ LuCrtpResult lu_crtp(const CscMatrix& a, const LuCrtpOptions& opts) {
       res.trace.cum_seconds.push_back(clock.seconds());
       res.trace.indicator.push_back(indicator / res.anorm_f);
       res.trace.rank.push_back(res.rank);
+      obs::IterationSample smp;
+      smp.iteration = res.iterations;
+      smp.rank = res.rank;
+      smp.indicator_rel = indicator / res.anorm_f;
+      smp.tau = opts.tau;
+      smp.time_seconds = res.trace.cum_seconds.back();
+      smp.schur_nnz = res.schur_nnz.back();
+      smp.fill_density = res.fill_density.back();
+      smp.factor_nnz = res.factor_nnz.back();
+      res.telemetry.push_back(smp);
     }
     if (indicator < target) {
       res.status = Status::kConverged;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/termination.hpp"
+#include "obs/telemetry.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/permute.hpp"
 
@@ -61,6 +62,10 @@ struct LuCrtpResult {
   bool threshold_control_hit = false;  // line 10 of Algorithm 3 fired
 
   IterationTrace trace;
+  /// Per-iteration convergence telemetry incl. the Schur-complement fill
+  /// diagnostics (populated with the trace; virtual time for the
+  /// distributed engine, wall time for the sequential one).
+  obs::TelemetrySeries telemetry;
 };
 
 /// Run LU_CRTP (or ILUT_CRTP when opts.threshold != kNone) on `a`.

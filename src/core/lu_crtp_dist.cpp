@@ -27,7 +27,7 @@ struct Triplet {
 }  // namespace
 
 DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
-                          int nranks, CostModel cm) {
+                          int nranks, CostModel cm, bool collect_trace) {
   DistLuResult out;
   const Index k = opts.block_size;
   const Index lmax = std::min(a.rows(), a.cols());
@@ -46,6 +46,7 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
   }
 
   SimWorld world(nranks, cm);
+  world.enable_tracing(collect_trace);
   std::mutex out_mu;
 
   world.run([&](RankCtx& ctx) {
@@ -400,7 +401,7 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
       w.put_vec(utv);
       w.put_vec(col_ids);  // surviving columns on this rank
     }
-    auto blobs = ctx.exchange_all(w.take(), 0.0);
+    auto blobs = ctx.exchange_all(w.take(), 0.0, "gather_factors");
 
     if (r == 0) {
       std::lock_guard<std::mutex> lock(out_mu);
@@ -461,6 +462,12 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();
+  out.comm = world.comm_stats();
+  out.trace = world.take_trace();
+  out.result.telemetry = obs::make_series(out.iter_vseconds, out.iter_indicator,
+                                          out.iter_rank, opts.tau);
+  obs::attach_fill(out.result.telemetry, out.result.fill_density,
+                   out.result.schur_nnz, out.result.factor_nnz);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "core/termination.hpp"
+#include "obs/telemetry.hpp"
 #include "sparse/csc.hpp"
 
 namespace lra {
@@ -43,6 +44,9 @@ struct RandQbResult {
   double orth_loss = 0.0;
 
   IterationTrace trace;
+  /// Per-iteration convergence telemetry (populated with the trace; for the
+  /// distributed engine, time_seconds is the rank's cumulative virtual time).
+  obs::TelemetrySeries telemetry;
 };
 
 RandQbResult randqb_ei(const CscMatrix& a, const RandQbOptions& opts);

@@ -70,7 +70,7 @@ Matrix tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
 }  // namespace
 
 DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
-                                int nranks, CostModel cm) {
+                                int nranks, CostModel cm, bool collect_trace) {
   DistRandQbResult out;
   const Index m = a.rows(), n = a.cols();
   const Index k = opts.block_size;
@@ -80,6 +80,7 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
   const double target = opts.tau * anorm;
 
   SimWorld world(nranks, cm);
+  world.enable_tracing(collect_trace);
   std::mutex out_mu;
 
   world.run([&](RankCtx& ctx) {
@@ -280,6 +281,10 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();
+  out.comm = world.comm_stats();
+  out.trace = world.take_trace();
+  out.result.telemetry = obs::make_series(out.iter_vseconds, out.iter_indicator,
+                                          out.iter_rank, opts.tau);
   return out;
 }
 

@@ -21,9 +21,12 @@ struct DistRandQbResult {
   std::vector<double> iter_vseconds;   // cumulative virtual time per iteration
   std::vector<double> iter_indicator;  // relative error indicator per iteration
   std::vector<Index> iter_rank;        // K after each iteration
+  obs::CommStats comm;                 // per-rank comm counters (always on)
+  std::vector<obs::RankTrace> trace;   // per-rank spans (collect_trace only)
 };
 
 DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
-                                int nranks, CostModel cm = {});
+                                int nranks, CostModel cm = {},
+                                bool collect_trace = false);
 
 }  // namespace lra

@@ -49,6 +49,13 @@ RandUbvResult randubv(const CscMatrix& a, const RandUbvOptions& opts) {
       res.trace.cum_seconds.push_back(clock.seconds());
       res.trace.indicator.push_back(indicator / res.anorm_f);
       res.trace.rank.push_back(res.rank);
+      obs::IterationSample smp;
+      smp.iteration = res.iterations;
+      smp.rank = res.rank;
+      smp.indicator_rel = indicator / res.anorm_f;
+      smp.tau = opts.tau;
+      smp.time_seconds = res.trace.cum_seconds.back();
+      res.telemetry.push_back(smp);
     }
     if (indicator < target) {
       res.status = opts.tau < kRandQbIndicatorFloor ? Status::kIndicatorFloor

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/termination.hpp"
+#include "obs/telemetry.hpp"
 #include "sparse/csc.hpp"
 
 namespace lra {
@@ -33,6 +34,8 @@ struct RandUbvResult {
   Matrix v;  // n x K
 
   IterationTrace trace;
+  /// Per-iteration convergence telemetry (populated with the trace).
+  obs::TelemetrySeries telemetry;
 };
 
 RandUbvResult randubv(const CscMatrix& a, const RandUbvOptions& opts);

@@ -93,7 +93,7 @@ void allreduce_inplace(RankCtx& ctx, Matrix& m) {
 }  // namespace
 
 DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
-                               int nranks, CostModel cm) {
+                               int nranks, CostModel cm, bool collect_trace) {
   DistRandUbvResult out;
   const Index m = a.rows(), n = a.cols();
   const Index lmax = std::min(m, n);
@@ -103,6 +103,7 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
   const double target = opts.tau * anorm;
 
   SimWorld world(nranks, cm);
+  world.enable_tracing(collect_trace);
   std::mutex out_mu;
 
   world.run([&](RankCtx& ctx) {
@@ -248,6 +249,10 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();
+  out.comm = world.comm_stats();
+  out.trace = world.take_trace();
+  out.result.telemetry = obs::make_series(out.iter_vseconds, out.iter_indicator,
+                                          out.iter_rank, opts.tau);
   return out;
 }
 

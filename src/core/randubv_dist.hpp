@@ -21,9 +21,12 @@ struct DistRandUbvResult {
   std::vector<double> iter_vseconds;   // cumulative virtual time per iteration
   std::vector<double> iter_indicator;  // relative indicator per iteration
   std::vector<Index> iter_rank;
+  obs::CommStats comm;                 // per-rank comm counters (always on)
+  std::vector<obs::RankTrace> trace;   // per-rank spans (collect_trace only)
 };
 
 DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
-                               int nranks, CostModel cm = {});
+                               int nranks, CostModel cm = {},
+                               bool collect_trace = false);
 
 }  // namespace lra

@@ -1,0 +1,70 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lra::obs {
+namespace {
+
+std::uint64_t vsum(const std::vector<std::uint64_t>& v) {
+  return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+}
+
+}  // namespace
+
+std::uint64_t CommCounters::total_msgs_sent() const { return vsum(msgs_sent_to); }
+std::uint64_t CommCounters::total_bytes_sent() const { return vsum(bytes_sent_to); }
+std::uint64_t CommCounters::total_msgs_recv() const { return vsum(msgs_recv_from); }
+std::uint64_t CommCounters::total_bytes_recv() const { return vsum(bytes_recv_from); }
+
+std::uint64_t CommCounters::total_collective_calls() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, calls] : collective_calls) n += calls;
+  return n;
+}
+
+std::uint64_t CommStats::total_msgs() const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_rank) n += c.total_msgs_sent();
+  return n;
+}
+
+std::uint64_t CommStats::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_rank) n += c.total_bytes_sent();
+  return n;
+}
+
+std::uint64_t CommStats::max_queue_depth() const {
+  std::uint64_t d = 0;
+  for (const auto& c : per_rank) d = std::max(d, c.max_queue_depth);
+  return d;
+}
+
+std::string CommStats::check_invariants() const {
+  const int p = static_cast<int>(per_rank.size());
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      const std::uint64_t sent = per_rank[s].bytes_sent_to[d];
+      const std::uint64_t recv = per_rank[d].bytes_recv_from[s];
+      if (sent != recv)
+        return "bytes mismatch " + std::to_string(s) + "->" +
+               std::to_string(d) + ": sent " + std::to_string(sent) +
+               ", received " + std::to_string(recv);
+      const std::uint64_t ms = per_rank[s].msgs_sent_to[d];
+      const std::uint64_t mr = per_rank[d].msgs_recv_from[s];
+      if (ms != mr)
+        return "message-count mismatch " + std::to_string(s) + "->" +
+               std::to_string(d) + ": sent " + std::to_string(ms) +
+               ", received " + std::to_string(mr);
+    }
+  }
+  for (int r = 1; r < p; ++r) {
+    if (per_rank[r].collective_calls != per_rank[0].collective_calls)
+      return "collective call counts differ between rank 0 and rank " +
+             std::to_string(r);
+  }
+  return {};
+}
+
+}  // namespace lra::obs

@@ -1,0 +1,65 @@
+#pragma once
+// Communication counters for the virtual-time runtime: per-peer message and
+// byte counts, per-collective invocation counts and contribution volumes,
+// and mailbox queue-depth high-water marks. Counters are always on — they
+// are integer increments outside every timed region, so they cannot perturb
+// the virtual clocks — and SimWorld aggregates them into a CommStats after
+// each run, with cross-rank consistency invariants for tests and reports.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lra::obs {
+
+/// Per-rank registry, written only by the owning rank's thread.
+struct CommCounters {
+  // Point-to-point, indexed by peer rank.
+  std::vector<std::uint64_t> msgs_sent_to;
+  std::vector<std::uint64_t> bytes_sent_to;
+  std::vector<std::uint64_t> msgs_recv_from;
+  std::vector<std::uint64_t> bytes_recv_from;
+
+  // Collectives, keyed by operation label ("barrier", "allreduce", ...).
+  std::map<std::string, std::uint64_t> collective_calls;
+  std::map<std::string, std::uint64_t> collective_bytes;  // local contribution
+
+  /// Deepest this rank's incoming mailboxes ever got (filled post-run).
+  std::uint64_t max_queue_depth = 0;
+
+  void resize(int nranks) {
+    msgs_sent_to.assign(static_cast<std::size_t>(nranks), 0);
+    bytes_sent_to.assign(static_cast<std::size_t>(nranks), 0);
+    msgs_recv_from.assign(static_cast<std::size_t>(nranks), 0);
+    bytes_recv_from.assign(static_cast<std::size_t>(nranks), 0);
+    collective_calls.clear();
+    collective_bytes.clear();
+    max_queue_depth = 0;
+  }
+
+  std::uint64_t total_msgs_sent() const;
+  std::uint64_t total_bytes_sent() const;
+  std::uint64_t total_msgs_recv() const;
+  std::uint64_t total_bytes_recv() const;
+  std::uint64_t total_collective_calls() const;
+};
+
+/// World-level aggregate assembled by SimWorld::run.
+struct CommStats {
+  std::vector<CommCounters> per_rank;
+
+  std::uint64_t total_msgs() const;        // sum of sends over ranks
+  std::uint64_t total_bytes() const;       // sum of sent bytes over ranks
+  std::uint64_t max_queue_depth() const;   // max over ranks
+
+  /// Cross-rank consistency checks:
+  ///   * bytes/messages rank s sent to rank d equal bytes/messages rank d
+  ///     received from rank s (every message was drained);
+  ///   * every rank made the same collective calls the same number of times.
+  /// Returns an empty string when consistent, else a description of the
+  /// first violation.
+  std::string check_invariants() const;
+};
+
+}  // namespace lra::obs

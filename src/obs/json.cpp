@@ -1,0 +1,85 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lra::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+JsonObj& JsonObj::emit(const std::string& key, const std::string& encoded) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += encoded;
+  return *this;
+}
+
+JsonObj& JsonObj::field(const std::string& key, const std::string& v) {
+  return emit(key, '"' + json_escape(v) + '"');
+}
+JsonObj& JsonObj::field(const std::string& key, const char* v) {
+  return field(key, std::string(v));
+}
+JsonObj& JsonObj::field(const std::string& key, double v) {
+  return emit(key, json_number(v));
+}
+JsonObj& JsonObj::field(const std::string& key, long long v) {
+  return emit(key, std::to_string(v));
+}
+JsonObj& JsonObj::field(const std::string& key, std::uint64_t v) {
+  return emit(key, std::to_string(v));
+}
+JsonObj& JsonObj::field(const std::string& key, int v) {
+  return emit(key, std::to_string(v));
+}
+JsonObj& JsonObj::field(const std::string& key, bool v) {
+  return emit(key, v ? "true" : "false");
+}
+JsonObj& JsonObj::raw(const std::string& key, const std::string& json) {
+  return emit(key, json);
+}
+
+std::string JsonObj::str() const { return '{' + body_ + '}'; }
+
+}  // namespace lra::obs

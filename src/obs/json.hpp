@@ -1,0 +1,41 @@
+#pragma once
+// Minimal JSON emission helpers for the observability layer (Chrome trace
+// export and the JSONL run reports). Emission only — the repo never parses
+// JSON, so there is no reader here.
+
+#include <cstdint>
+#include <string>
+
+namespace lra::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+/// Render a double as a JSON number (finite round-trip via %.17g; NaN and
+/// infinities, which JSON cannot represent, become null).
+std::string json_number(double v);
+
+/// Incremental builder for one JSON object: field() in call order, str() to
+/// finalize. Keys are emitted exactly once in insertion order; no nesting
+/// beyond raw() (which splices pre-encoded JSON, e.g. an array or object).
+class JsonObj {
+ public:
+  JsonObj& field(const std::string& key, const std::string& v);
+  JsonObj& field(const std::string& key, const char* v);
+  JsonObj& field(const std::string& key, double v);
+  JsonObj& field(const std::string& key, long long v);
+  JsonObj& field(const std::string& key, std::uint64_t v);
+  JsonObj& field(const std::string& key, int v);
+  JsonObj& field(const std::string& key, bool v);
+  /// Splice an already-encoded JSON value (array/object) under `key`.
+  JsonObj& raw(const std::string& key, const std::string& json);
+
+  /// The finished object, braces included.
+  std::string str() const;
+
+ private:
+  JsonObj& emit(const std::string& key, const std::string& encoded);
+  std::string body_;
+};
+
+}  // namespace lra::obs

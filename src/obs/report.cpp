@@ -1,0 +1,67 @@
+#include "obs/report.hpp"
+
+#include <stdexcept>
+
+namespace lra::obs {
+
+ReportWriter::ReportWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open report file: " + path);
+}
+
+void ReportWriter::write(const JsonObj& obj) {
+  out_ << obj.str() << '\n';
+  ++records_;
+}
+
+void write_telemetry(ReportWriter& w, const std::string& method,
+                     const TelemetrySeries& series) {
+  for (const IterationSample& s : series) {
+    JsonObj o;
+    o.field("type", "iteration")
+        .field("method", method)
+        .field("iteration", s.iteration)
+        .field("rank", s.rank)
+        .field("indicator_rel", s.indicator_rel)
+        .field("tau", s.tau)
+        .field("time_seconds", s.time_seconds);
+    if (s.schur_nnz >= 0) o.field("schur_nnz", s.schur_nnz);
+    if (s.fill_density >= 0.0) o.field("fill_density", s.fill_density);
+    if (s.factor_nnz >= 0) o.field("factor_nnz", s.factor_nnz);
+    w.write(o);
+  }
+}
+
+void write_comm_stats(ReportWriter& w, const CommStats& stats) {
+  JsonObj o;
+  o.field("type", "comm")
+      .field("nranks", static_cast<long long>(stats.per_rank.size()))
+      .field("total_msgs", stats.total_msgs())
+      .field("total_bytes", stats.total_bytes())
+      .field("max_queue_depth", stats.max_queue_depth());
+  // Collective call counts are identical on every rank (invariant); report
+  // rank 0's view, summing contribution volumes over ranks.
+  if (!stats.per_rank.empty()) {
+    std::string colls = "{";
+    bool first = true;
+    for (const auto& [name, calls] : stats.per_rank[0].collective_calls) {
+      std::uint64_t bytes = 0;
+      for (const auto& c : stats.per_rank)
+        if (auto it = c.collective_bytes.find(name);
+            it != c.collective_bytes.end())
+          bytes += it->second;
+      if (!first) colls += ',';
+      first = false;
+      colls += '"' + json_escape(name) + "\":{\"calls\":" +
+               std::to_string(calls) + ",\"bytes\":" + std::to_string(bytes) +
+               '}';
+    }
+    colls += '}';
+    o.raw("collectives", colls);
+  }
+  const std::string inv = stats.check_invariants();
+  o.field("consistent", inv.empty());
+  if (!inv.empty()) o.field("violation", inv);
+  w.write(o);
+}
+
+}  // namespace lra::obs

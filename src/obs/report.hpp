@@ -1,0 +1,42 @@
+#pragma once
+// Structured JSONL run reports: one JSON object per line, suitable for both
+// the CLI (--report=FILE) and the bench harnesses (--report=FILE), so
+// trajectory data comes out of the tools machine-readable instead of being
+// scraped from printed tables. Every record carries a "type" discriminator:
+//   meta       — one per run: tool, matrix, method, parameters
+//   iteration  — one per solver iteration (from obs::TelemetrySeries)
+//   comm       — aggregated communication counters of a distributed run
+//   summary    — one per run: status, final rank/indicator, total seconds
+
+#include <fstream>
+#include <string>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace lra::obs {
+
+class ReportWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit ReportWriter(const std::string& path);
+
+  /// Append one record as a single line.
+  void write(const JsonObj& obj);
+
+  int records() const { return records_; }
+
+ private:
+  std::ofstream out_;
+  int records_ = 0;
+};
+
+/// One "iteration" record per sample, tagged with the method name.
+void write_telemetry(ReportWriter& w, const std::string& method,
+                     const TelemetrySeries& series);
+
+/// One "comm" record summarizing a distributed run's counters.
+void write_comm_stats(ReportWriter& w, const CommStats& stats);
+
+}  // namespace lra::obs

@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace lra::obs {
+
+const char* to_string(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kCompute:
+      return "compute";
+    case SpanCat::kP2P:
+      return "p2p";
+    case SpanCat::kCollective:
+      return "collective";
+  }
+  return "unknown";
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << JsonObj()
+            .field("name", "process_name")
+            .field("ph", "M")
+            .field("pid", 0)
+            .field("tid", 0)
+            .raw("args", "{\"name\":\"SimWorld (virtual time)\"}")
+            .str();
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    sep();
+    os << JsonObj()
+              .field("name", "thread_name")
+              .field("ph", "M")
+              .field("pid", 0)
+              .field("tid", static_cast<long long>(r))
+              .raw("args",
+                   "{\"name\":\"rank " + std::to_string(r) + "\"}")
+              .str();
+  }
+
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    for (const TraceEvent& e : ranks[r].events) {
+      JsonObj args;
+      if (e.bytes > 0) args.field("bytes", e.bytes);
+      if (e.peer >= 0) args.field("peer", e.peer);
+      JsonObj ev;
+      ev.field("name", e.name)
+          .field("cat", to_string(e.cat))
+          .field("ph", "X")
+          .field("ts", e.begin_v * 1e6)  // virtual seconds -> microseconds
+          .field("dur", (e.end_v - e.begin_v) * 1e6)
+          .field("pid", 0)
+          .field("tid", static_cast<long long>(r))
+          .raw("args", args.str());
+      sep();
+      os << ev.str();
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<RankTrace>& ranks) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  write_chrome_trace(f, ranks);
+}
+
+}  // namespace lra::obs

@@ -1,0 +1,56 @@
+#pragma once
+// Per-rank event tracing in *virtual* time. Each simulated rank owns a
+// RankTrace buffer (written by exactly one thread, so no locking); SimWorld
+// wires the buffers into the RankCtx hooks when tracing is enabled and hands
+// them back after the run. The export format is Chrome trace-event JSON
+// ("X" complete events), loadable in Perfetto / chrome://tracing with one
+// track (tid) per simulated rank.
+//
+// Tracing is strictly opt-in: a disabled run records nothing, allocates
+// nothing, and leaves every virtual-clock code path untouched.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lra::obs {
+
+enum class SpanCat {
+  kCompute,     // ctx.compute(...) sections, charged by thread-CPU time
+  kP2P,         // send/recv point-to-point
+  kCollective,  // exchange_all-based collectives
+};
+
+const char* to_string(SpanCat cat);
+
+/// One closed span on a rank's virtual timeline.
+struct TraceEvent {
+  std::string name;
+  SpanCat cat = SpanCat::kCompute;
+  double begin_v = 0.0;  // virtual seconds at span entry
+  double end_v = 0.0;    // virtual seconds at span exit (>= begin_v)
+  std::uint64_t bytes = 0;  // payload size for comm spans (0 for compute)
+  int peer = -1;            // p2p peer rank (-1 for compute/collectives)
+};
+
+/// Append-only buffer owned by one simulated rank.
+struct RankTrace {
+  std::vector<TraceEvent> events;
+
+  void span(std::string name, SpanCat cat, double begin_v, double end_v,
+            std::uint64_t bytes = 0, int peer = -1) {
+    events.push_back(TraceEvent{std::move(name), cat, begin_v, end_v, bytes, peer});
+  }
+};
+
+/// Emit Chrome trace-event JSON: one "X" event per span, virtual seconds
+/// mapped to microseconds, pid 0 / tid = rank, plus metadata events naming
+/// the tracks ("rank 0", "rank 1", ...).
+void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks);
+
+/// Same, to a file. Throws std::runtime_error if the file cannot be opened.
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<RankTrace>& ranks);
+
+}  // namespace lra::obs

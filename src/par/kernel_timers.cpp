@@ -1,6 +1,7 @@
 #include "par/kernel_timers.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -25,12 +26,17 @@ void print_kernel_breakdown(std::ostream& os,
     accounted += v;
     maxval = std::max(maxval, v);
   }
-  const double other = std::max(0.0, total - accounted);
+  // Kernel sums can exceed `total` by rounding (each is a max over ranks);
+  // the remainder must clamp at zero, never print as a negative row. A
+  // non-finite total degrades to an empty remainder instead of NaN bars.
+  const double remainder = std::isfinite(total) ? total - accounted : 0.0;
+  const double other = std::max(0.0, remainder);
   maxval = std::max(maxval, other);
 
   auto bar = [&](double v) {
-    const int width = static_cast<int>(40.0 * v / maxval + 0.5);
-    return std::string(static_cast<std::size_t>(width), '#');
+    const int width =
+        v > 0.0 ? static_cast<int>(40.0 * v / maxval + 0.5) : 0;
+    return std::string(static_cast<std::size_t>(std::max(0, width)), '#');
   };
   char buf[160];
   for (const auto& k : kernels) {

@@ -17,19 +17,28 @@ const CostModel& RankCtx::cost() const { return world_->cost_; }
 void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(dst) * world_->nranks_ + rank_];
-  const double arrival = vclock_ + world_->cost_.p2p(data.size());
+  const std::size_t nbytes = data.size();
+  const double v0 = vclock_;
+  const double arrival = vclock_ + world_->cost_.p2p(nbytes);
   // Buffered send: the sender pays only the injection latency.
   vclock_ += world_->cost_.alpha;
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.per_src_queue.push_back(SimWorld::Message{tag, std::move(data), arrival});
+    box.depth_hwm = std::max(box.depth_hwm, box.per_src_queue.size());
   }
   box.cv.notify_all();
+  counters_.msgs_sent_to[dst] += 1;
+  counters_.bytes_sent_to[dst] += nbytes;
+  if (trace_)
+    trace_->span("send->" + std::to_string(dst), obs::SpanCat::kP2P, v0,
+                 vclock_, nbytes, dst);
 }
 
 std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ + src];
+  const double v0 = vclock_;
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     for (auto it = box.per_src_queue.begin(); it != box.per_src_queue.end();
@@ -39,6 +48,11 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
         box.per_src_queue.erase(it);
         lock.unlock();
         vclock_ = std::max(vclock_, msg.arrival_vtime);
+        counters_.msgs_recv_from[src] += 1;
+        counters_.bytes_recv_from[src] += msg.data.size();
+        if (trace_)
+          trace_->span("recv<-" + std::to_string(src), obs::SpanCat::kP2P, v0,
+                       vclock_, msg.data.size(), src);
         return std::move(msg.data);
       }
     }
@@ -47,7 +61,10 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
 }
 
 std::vector<std::vector<std::byte>> RankCtx::exchange_all(
-    std::vector<std::byte> contribution, double modeled_cost) {
+    std::vector<std::byte> contribution, double modeled_cost,
+    const char* label) {
+  const std::size_t nbytes = contribution.size();
+  const double v0 = vclock_;
   SimWorld::CollectiveCtx& c = world_->coll_;
   std::unique_lock<std::mutex> lock(c.mu);
   const long my_gen = c.generation;
@@ -67,11 +84,15 @@ std::vector<std::vector<std::byte>> RankCtx::exchange_all(
     c.cv.wait(lock, [&] { return c.generation != my_gen; });
   }
   vclock_ = c.vt_out;
+  counters_.collective_calls[label] += 1;
+  counters_.collective_bytes[label] += nbytes;
+  if (trace_)
+    trace_->span(label, obs::SpanCat::kCollective, v0, vclock_, nbytes);
   return c.result;  // copy: every rank gets the full set
 }
 
 void RankCtx::barrier() {
-  exchange_all({}, world_->cost_.tree(world_->nranks_, 8));
+  exchange_all({}, world_->cost_.tree(world_->nranks_, 8), "barrier");
 }
 
 void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
@@ -80,7 +101,7 @@ void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
   // Non-roots do not know the size yet; the cost max over ranks is what
   // counts, and the root supplies the true one.
   auto all = exchange_all(std::move(contrib),
-                          rank_ == root ? cost : 0.0);
+                          rank_ == root ? cost : 0.0, "bcast");
   buf = std::move(all[root]);
 }
 
@@ -89,7 +110,8 @@ std::vector<double> RankCtx::allreduce_sum(std::vector<double> local) {
   std::memcpy(b.data(), local.data(), b.size());
   auto all = exchange_all(std::move(b),
                           world_->cost_.allreduce(world_->nranks_,
-                                                  local.size() * sizeof(double)));
+                                                  local.size() * sizeof(double)),
+                          "allreduce");
   std::vector<double> out(local.size(), 0.0);
   for (const auto& blob : all) {
     const double* v = reinterpret_cast<const double*>(blob.data());
@@ -107,7 +129,8 @@ double RankCtx::allreduce_max(double x) {
   std::vector<std::byte> b(sizeof(double));
   std::memcpy(b.data(), &x, sizeof(double));
   auto all = exchange_all(std::move(b),
-                          world_->cost_.allreduce(world_->nranks_, sizeof(double)));
+                          world_->cost_.allreduce(world_->nranks_, sizeof(double)),
+                          "allreduce");
   double mx = x;
   for (const auto& blob : all) {
     double v;
@@ -128,7 +151,7 @@ std::vector<double> RankCtx::allgatherv(const std::vector<double>& local) {
   // size, which is exact for the uniform distributions used here.
   const double cost = world_->cost_.allgather(
       world_->nranks_, world_->nranks_ * local.size() * sizeof(double));
-  auto all = exchange_all(std::move(b), cost);
+  auto all = exchange_all(std::move(b), cost, "allgatherv");
   std::vector<double> out;
   for (const auto& blob : all) {
     const double* v = reinterpret_cast<const double*>(blob.data());
@@ -143,7 +166,8 @@ std::vector<long long> RankCtx::allgather(long long x) {
   auto all = exchange_all(
       std::move(b),
       world_->cost_.allgather(world_->nranks_,
-                              world_->nranks_ * sizeof(long long)));
+                              world_->nranks_ * sizeof(long long)),
+      "allgather");
   std::vector<long long> out;
   out.reserve(all.size());
   for (const auto& blob : all) {
@@ -161,9 +185,17 @@ SimWorld::SimWorld(int nranks, CostModel cm)
 }
 
 void SimWorld::run(const std::function<void(RankCtx&)>& body) {
+  for (Mailbox& box : mailbox_) box.depth_hwm = 0;
+  trace_bufs_.clear();
+  if (tracing_) trace_bufs_.resize(static_cast<std::size_t>(nranks_));
+
   std::vector<RankCtx> ctx;
   ctx.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) ctx.push_back(RankCtx(this, r));
+  for (int r = 0; r < nranks_; ++r) {
+    ctx.push_back(RankCtx(this, r));
+    ctx.back().counters_.resize(nranks_);
+    if (tracing_) ctx.back().trace_ = &trace_bufs_[static_cast<std::size_t>(r)];
+  }
 
   std::vector<std::thread> threads;
   std::exception_ptr first_error;
@@ -190,12 +222,26 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
 
   elapsed_virtual_ = 0.0;
   kernel_max_.clear();
+  comm_stats_.per_rank.clear();
+  comm_stats_.per_rank.reserve(static_cast<std::size_t>(nranks_));
   for (const auto& c : ctx) {
     elapsed_virtual_ = std::max(elapsed_virtual_, c.vtime());
     for (const auto& [name, secs] : c.kernel_times()) {
       auto& slot = kernel_max_[name];
       slot = std::max(slot, secs);
     }
+    comm_stats_.per_rank.push_back(c.counters());
+  }
+  // Queue-depth high-water marks live in the destination mailboxes; fold the
+  // max over a rank's incoming boxes into that rank's counters.
+  for (int dst = 0; dst < nranks_; ++dst) {
+    std::uint64_t hwm = 0;
+    for (int src = 0; src < nranks_; ++src) {
+      const Mailbox& box =
+          mailbox_[static_cast<std::size_t>(dst) * nranks_ + src];
+      hwm = std::max(hwm, static_cast<std::uint64_t>(box.depth_hwm));
+    }
+    comm_stats_.per_rank[static_cast<std::size_t>(dst)].max_queue_depth = hwm;
   }
 }
 

@@ -14,17 +14,28 @@
 //
 // This substitutes for the MPI cluster of the paper: strong-scaling curves
 // are read off the final virtual clocks. See DESIGN.md.
+//
+// Observability (src/obs): every rank always carries comm counters (integer
+// increments outside the timed regions — they cannot perturb the clocks),
+// and SimWorld::enable_tracing() additionally records compute/p2p/collective
+// spans stamped with virtual begin/end times for Chrome-trace export. With
+// tracing disabled the hooks reduce to a null-pointer check and the
+// virtual-clock arithmetic is bit-identical to the uninstrumented runtime.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "par/cost_model.hpp"
 #include "support/stopwatch.hpp"
 
@@ -49,10 +60,14 @@ class RankCtx {
     const double t0 = thread_cpu_seconds();
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
-      vclock_ += thread_cpu_seconds() - t0;
+      const double dt = thread_cpu_seconds() - t0;
+      vclock_ += dt;
+      trace_compute("compute", dt);
     } else {
       decltype(auto) r = f();
-      vclock_ += thread_cpu_seconds() - t0;
+      const double dt = thread_cpu_seconds() - t0;
+      vclock_ += dt;
+      trace_compute("compute", dt);
       return r;
     }
   }
@@ -66,11 +81,13 @@ class RankCtx {
       const double dt = thread_cpu_seconds() - t0;
       vclock_ += dt;
       kernel_time_[kernel] += dt;
+      trace_compute(kernel, dt);
     } else {
       decltype(auto) r = f();
       const double dt = thread_cpu_seconds() - t0;
       vclock_ += dt;
       kernel_time_[kernel] += dt;
+      trace_compute(kernel, dt);
       return r;
     }
   }
@@ -79,6 +96,7 @@ class RankCtx {
   void charge_kernel(const std::string& kernel, double seconds) {
     vclock_ += seconds;
     kernel_time_[kernel] += seconds;
+    trace_compute(kernel, seconds);
   }
 
   // --- point-to-point (buffered send, blocking receive) ---
@@ -105,9 +123,11 @@ class RankCtx {
   void barrier();
   /// Every rank receives every rank's contribution (the primitive all other
   /// collectives are built on). `modeled_cost` is added to the synchronized
-  /// clock; pass the op-appropriate CostModel term.
+  /// clock; pass the op-appropriate CostModel term. `label` names the
+  /// operation in the comm counters and the event trace.
   std::vector<std::vector<std::byte>> exchange_all(
-      std::vector<std::byte> contribution, double modeled_cost);
+      std::vector<std::byte> contribution, double modeled_cost,
+      const char* label = "exchange_all");
 
   void bcast_bytes(std::vector<std::byte>& buf, int root);
   std::vector<double> allreduce_sum(std::vector<double> local);
@@ -123,19 +143,37 @@ class RankCtx {
     return kernel_time_;
   }
 
+  /// This rank's communication counters (always collected).
+  const obs::CommCounters& counters() const { return counters_; }
+
  private:
   friend class SimWorld;
   RankCtx(SimWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  /// Record a compute span ending at the current virtual clock. Runs after
+  /// the CPU-time measurement window closes, so tracing never inflates the
+  /// charged time.
+  void trace_compute(const std::string& name, double dt) {
+    if (trace_)
+      trace_->span(name, obs::SpanCat::kCompute, vclock_ - dt, vclock_);
+  }
 
   SimWorld* world_;
   int rank_;
   double vclock_ = 0.0;
   std::map<std::string, double> kernel_time_;
+  obs::CommCounters counters_;
+  obs::RankTrace* trace_ = nullptr;  // null = tracing disabled
 };
 
 class SimWorld {
  public:
   explicit SimWorld(int nranks, CostModel cm = {});
+
+  /// Record per-rank compute/p2p/collective spans in virtual time during the
+  /// next run(); retrieve them with trace(). Must be called before run().
+  void enable_tracing(bool on = true) { tracing_ = on; }
+  bool tracing_enabled() const { return tracing_; }
 
   /// Execute the SPMD body on all ranks; returns when every rank finished.
   /// Exceptions thrown by any rank are rethrown here (first one wins).
@@ -151,6 +189,14 @@ class SimWorld {
     return kernel_max_;
   }
 
+  /// Per-rank communication counters of the last run (always collected).
+  const obs::CommStats& comm_stats() const { return comm_stats_; }
+
+  /// Per-rank event buffers of the last traced run (empty when tracing was
+  /// off). One entry per rank, events in program order.
+  const std::vector<obs::RankTrace>& trace() const { return trace_bufs_; }
+  std::vector<obs::RankTrace> take_trace() { return std::move(trace_bufs_); }
+
  private:
   friend class RankCtx;
 
@@ -163,6 +209,7 @@ class SimWorld {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> per_src_queue;  // indexed externally by (src)
+    std::size_t depth_hwm = 0;          // high-water mark, guarded by mu
   };
   // mailbox_[dst * nranks + src]
   std::vector<Mailbox> mailbox_;
@@ -181,8 +228,11 @@ class SimWorld {
 
   int nranks_;
   CostModel cost_;
+  bool tracing_ = false;
   double elapsed_virtual_ = 0.0;
   std::map<std::string, double> kernel_max_;
+  obs::CommStats comm_stats_;
+  std::vector<obs::RankTrace> trace_bufs_;
 };
 
 // --- byte packing helpers for heterogeneous payloads ---
@@ -209,11 +259,16 @@ class ByteWriter {
   std::vector<std::byte> buf_;
 };
 
+/// Reader over a packed payload. Every get checks the remaining length and
+/// throws std::out_of_range on truncated or malformed input (a corrupted
+/// length prefix must never turn into a memcpy past the buffer end).
 class ByteReader {
  public:
   explicit ByteReader(const std::vector<std::byte>& b) : buf_(b) {}
   template <typename T>
   T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
     T v;
     std::memcpy(&v, buf_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -221,7 +276,15 @@ class ByteReader {
   }
   template <typename T>
   std::vector<T> get_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
     const auto n = get<std::uint64_t>();
+    // Guard the multiply too: a corrupted prefix like 2^61 would overflow
+    // n * sizeof(T) before the bounds check.
+    if (n > (buf_.size() - pos_) / sizeof(T))
+      throw std::out_of_range(
+          "ByteReader: vector length " + std::to_string(n) + " of " +
+          std::to_string(sizeof(T)) + "-byte elements exceeds the " +
+          std::to_string(buf_.size() - pos_) + " bytes remaining");
     std::vector<T> v(n);
     std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
@@ -230,6 +293,14 @@ class ByteReader {
   bool done() const { return pos_ == buf_.size(); }
 
  private:
+  void require(std::size_t bytes) const {
+    if (bytes > buf_.size() - pos_)
+      throw std::out_of_range("ByteReader: truncated payload: need " +
+                              std::to_string(bytes) + " bytes at offset " +
+                              std::to_string(pos_) + " of " +
+                              std::to_string(buf_.size()));
+  }
+
   const std::vector<std::byte>& buf_;
   std::size_t pos_ = 0;
 };

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 namespace lra {
 namespace {
@@ -165,6 +167,174 @@ TEST(SimComm, ExceptionsPropagateToCaller) {
   EXPECT_THROW(
       w.run([&](RankCtx&) { throw std::runtime_error("boom"); }),
       std::runtime_error);
+}
+
+// --- ByteReader hardening: corrupted payloads must throw, never memcpy ---
+
+TEST(ByteReaderTest, RoundTripsHeterogeneousPayload) {
+  ByteWriter w;
+  w.put<std::int64_t>(-7);
+  w.put<double>(2.5);
+  w.put_vec<int>({1, 2, 3});
+  const std::vector<std::byte> blob = w.take();
+  ByteReader rd(blob);
+  EXPECT_EQ(rd.get<std::int64_t>(), -7);
+  EXPECT_EQ(rd.get<double>(), 2.5);
+  EXPECT_EQ(rd.get_vec<int>(), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(rd.done());
+}
+
+TEST(ByteReaderTest, TruncatedScalarThrows) {
+  std::vector<std::byte> blob(3);  // shorter than a double
+  ByteReader rd(blob);
+  EXPECT_THROW(rd.get<double>(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, ReadPastEndThrows) {
+  ByteWriter w;
+  w.put<int>(42);
+  const std::vector<std::byte> blob = w.take();
+  ByteReader rd(blob);
+  EXPECT_EQ(rd.get<int>(), 42);
+  EXPECT_THROW(rd.get<int>(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, CorruptedVectorLengthThrows) {
+  ByteWriter w;
+  w.put_vec<double>({1.0, 2.0});
+  std::vector<std::byte> blob = w.take();
+  // Overwrite the length prefix with a count larger than the payload.
+  const std::uint64_t bogus = 1000;
+  std::memcpy(blob.data(), &bogus, sizeof(bogus));
+  ByteReader rd(blob);
+  EXPECT_THROW(rd.get_vec<double>(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, HugeVectorLengthDoesNotOverflow) {
+  ByteWriter w;
+  w.put_vec<double>({1.0});
+  std::vector<std::byte> blob = w.take();
+  // 2^61 elements: n * sizeof(double) wraps to 0 in 64-bit arithmetic, so a
+  // naive `n * sizeof(T) > remaining` check would pass and memcpy wildly.
+  const std::uint64_t bogus = std::uint64_t{1} << 61;
+  std::memcpy(blob.data(), &bogus, sizeof(bogus));
+  ByteReader rd(blob);
+  EXPECT_THROW(rd.get_vec<double>(), std::out_of_range);
+}
+
+TEST(ByteReaderTest, TruncatedVectorBodyThrows) {
+  ByteWriter w;
+  w.put_vec<double>({1.0, 2.0, 3.0});
+  std::vector<std::byte> blob = w.take();
+  blob.resize(blob.size() - 1);  // drop the last byte of the body
+  ByteReader rd(blob);
+  EXPECT_THROW(rd.get_vec<double>(), std::out_of_range);
+}
+
+// --- comm-counter invariants on a mixed p2p/collective workload ---
+
+namespace {
+
+// Ring p2p (each rank sends to rank+1), a barrier, an allreduce, and a
+// two-element bcast: exercises both counting paths on every rank.
+void mixed_workload(RankCtx& ctx) {
+  const int p = ctx.size();
+  const int next = (ctx.rank() + 1) % p;
+  const int prev = (ctx.rank() + p - 1) % p;
+  if (p > 1) {
+    ctx.send<double>(next, {1.0, 2.0, 3.0});
+    (void)ctx.recv<double>(prev);
+    // A second, bigger message to make per-peer byte totals distinctive.
+    ctx.send<double>(next, std::vector<double>(std::size_t(ctx.rank() + 1), 0.5));
+    (void)ctx.recv<double>(prev);
+  }
+  ctx.barrier();
+  (void)ctx.allreduce_sum(1.0);
+  std::vector<std::byte> buf(16);
+  ctx.bcast_bytes(buf, 0);
+}
+
+}  // namespace
+
+TEST(CommCountersTest, MixedWorkloadSatisfiesInvariants) {
+  for (const int p : {2, 3, 5}) {
+    SimWorld w(p);
+    w.run(mixed_workload);
+    const obs::CommStats& stats = w.comm_stats();
+    ASSERT_EQ(stats.per_rank.size(), static_cast<std::size_t>(p));
+
+    // Bytes and messages sent to dst == bytes and messages dst received
+    // from src, for every (src, dst) pair: all mail was drained.
+    for (int src = 0; src < p; ++src)
+      for (int dst = 0; dst < p; ++dst) {
+        EXPECT_EQ(stats.per_rank[src].msgs_sent_to[dst],
+                  stats.per_rank[dst].msgs_recv_from[src])
+            << "msgs " << src << "->" << dst;
+        EXPECT_EQ(stats.per_rank[src].bytes_sent_to[dst],
+                  stats.per_rank[dst].bytes_recv_from[src])
+            << "bytes " << src << "->" << dst;
+      }
+
+    // Global totals agree.
+    std::uint64_t sent = 0, recvd = 0, bsent = 0, brecvd = 0;
+    for (const auto& c : stats.per_rank) {
+      sent += c.total_msgs_sent();
+      recvd += c.total_msgs_recv();
+      bsent += c.total_bytes_sent();
+      brecvd += c.total_bytes_recv();
+    }
+    EXPECT_EQ(sent, recvd);
+    EXPECT_EQ(bsent, brecvd);
+    if (p > 1) {
+      EXPECT_GT(sent, 0u);
+    }
+
+    // Every rank participated in the same collectives the same number of
+    // times (barrier, allreduce, bcast).
+    for (int r = 1; r < p; ++r)
+      EXPECT_EQ(stats.per_rank[r].collective_calls,
+                stats.per_rank[0].collective_calls)
+          << "rank " << r;
+    EXPECT_EQ(stats.per_rank[0].collective_calls.at("barrier"), 1u);
+    EXPECT_EQ(stats.per_rank[0].collective_calls.at("allreduce"), 1u);
+    EXPECT_EQ(stats.per_rank[0].collective_calls.at("bcast"), 1u);
+
+    // The registry's own consistency check agrees.
+    EXPECT_EQ(stats.check_invariants(), "");
+    if (p > 1) {
+      EXPECT_GE(stats.max_queue_depth(), 1u);
+    }
+  }
+}
+
+TEST(CommCountersTest, P2PCountsExactBytes) {
+  SimWorld w(2);
+  w.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0)
+      ctx.send<double>(1, {1.0, 2.0, 3.0, 4.0});
+    else
+      (void)ctx.recv<double>(0);
+  });
+  const obs::CommStats& stats = w.comm_stats();
+  EXPECT_EQ(stats.per_rank[0].msgs_sent_to[1], 1u);
+  EXPECT_EQ(stats.per_rank[0].bytes_sent_to[1], 4 * sizeof(double));
+  EXPECT_EQ(stats.per_rank[1].bytes_recv_from[0], 4 * sizeof(double));
+  EXPECT_EQ(stats.per_rank[1].total_msgs_sent(), 0u);
+  EXPECT_EQ(stats.check_invariants(), "");
+}
+
+TEST(CommCountersTest, QueueDepthSeesBacklog) {
+  SimWorld w(2);
+  w.run([&](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i) ctx.send<int>(1, {i}, /*tag=*/i);
+      ctx.barrier();
+    } else {
+      ctx.barrier();  // let the backlog build before draining
+      for (int i = 4; i >= 0; --i) (void)ctx.recv<int>(0, /*tag=*/i);
+    }
+  });
+  EXPECT_GE(w.comm_stats().max_queue_depth(), 5u);
 }
 
 TEST(CostModelTest, MonotoneInSizeAndRanks) {

@@ -6,20 +6,32 @@
 //       Structural summary + leading singular values (randomized probe).
 //   lra_cli approx --mtx=a.mtx [--method=auto|randqb|lu|ilut|ubv]
 //             [--tau=1e-3] [--k=32] [--out=fact.bin]
+//             [--np=N] [--trace=trace.json] [--report=report.jsonl]
 //       Fixed-precision approximation; optionally store the factors.
+//       --np runs the simulated-distributed engine on N virtual ranks;
+//       --trace writes a Chrome trace (chrome://tracing / Perfetto) of the
+//       virtual-time spans and implies --np (default 4); --report writes a
+//       JSONL run report (meta/iteration/comm/summary records) for either
+//       execution mode.
 //   lra_cli verify --mtx=a.mtx --fact=fact.bin
 //       Reload stored factors and report the exact achieved error.
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/driver.hpp"
 #include "core/fixed_rank.hpp"
+#include "core/lu_crtp_dist.hpp"
 #include "core/metrics.hpp"
+#include "core/randqb_ei_dist.hpp"
+#include "core/randubv_dist.hpp"
 #include "core/serialize.hpp"
 #include "dense/svd.hpp"
 #include "gen/presets.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sparse/io_mm.hpp"
 #include "sparse/ops.hpp"
 #include "support/cli.hpp"
@@ -68,23 +80,165 @@ int cmd_info(const Cli& cli) {
   return 0;
 }
 
+// Distributed run digest shared by the four method dispatches below.
+struct DistDigest {
+  Status status = Status::kMaxIterations;
+  Index rank = 0;
+  Index iterations = 0;
+  double indicator_rel = 0.0;
+  double virtual_seconds = 0.0;
+  obs::TelemetrySeries telemetry;
+  obs::CommStats comm;
+  std::vector<obs::RankTrace> trace;
+};
+
+template <typename DistResult>
+DistDigest digest(DistResult&& d) {
+  DistDigest g;
+  g.status = d.result.status;
+  g.rank = d.result.rank;
+  g.iterations = d.result.iterations;
+  g.indicator_rel =
+      d.result.anorm_f > 0.0 ? d.result.indicator / d.result.anorm_f : 0.0;
+  g.virtual_seconds = d.virtual_seconds;
+  g.telemetry = std::move(d.result.telemetry);
+  g.comm = std::move(d.comm);
+  g.trace = std::move(d.trace);
+  return g;
+}
+
 int cmd_approx(const Cli& cli) {
-  const CscMatrix a = read_matrix_market(cli.get("mtx", ""));
+  const std::string mtx = cli.get("mtx", "");
+  const CscMatrix a = read_matrix_market(mtx);
   ApproxOptions o;
   o.method = method_from_string(cli.get("method", "auto"));
   o.tau = cli.get_double("tau", 1e-3);
   o.block_size = cli.get_int("k", 32);
   o.power = static_cast<int>(cli.get_int("p", 1));
 
+  const std::string trace_path = cli.get("trace", "");
+  const std::string report_path = cli.get("report", "");
+  // Spans live on simulated ranks, so --trace implies the distributed path.
+  int np = static_cast<int>(cli.get_int("np", trace_path.empty() ? 0 : 4));
+  if (np < 0) np = 0;
+
+  // Distributed runs resolve "auto" with the paper's parallel guidance
+  // (deterministic methods at coarse-to-moderate tau), sequential runs with
+  // the sequential one.
+  const Method method = np > 0 ? choose_method_dist(a, o) : choose_method(a, o);
+
+  std::unique_ptr<obs::ReportWriter> report;
+  if (!report_path.empty())
+    report = std::make_unique<obs::ReportWriter>(report_path);
+  if (report) {
+    obs::JsonObj meta;
+    meta.field("type", "meta")
+        .field("tool", "lra_cli approx")
+        .field("matrix", mtx)
+        .field("rows", static_cast<long long>(a.rows()))
+        .field("cols", static_cast<long long>(a.cols()))
+        .field("nnz", static_cast<long long>(a.nnz()))
+        .field("density", a.density())
+        .field("method", to_string(method))
+        .field("tau", o.tau)
+        .field("block_size", static_cast<long long>(o.block_size))
+        .field("np", np);
+    report->write(meta);
+  }
+
+  if (np > 0) {
+    const bool want_trace = !trace_path.empty();
+    DistDigest g;
+    switch (method) {
+      case Method::kRandQbEi: {
+        RandQbOptions qo;
+        qo.block_size = o.block_size;
+        qo.tau = o.tau;
+        qo.power = o.power;
+        qo.seed = o.seed;
+        qo.max_rank = o.max_rank;
+        g = digest(randqb_ei_dist(a, qo, np, {}, want_trace));
+        break;
+      }
+      case Method::kLuCrtp:
+      case Method::kIlutCrtp: {
+        LuCrtpOptions lo;
+        lo.block_size = o.block_size;
+        lo.tau = o.tau;
+        lo.max_rank = o.max_rank;
+        lo.colamd = o.colamd;
+        if (method == Method::kIlutCrtp) lo.threshold = ThresholdMode::kIlut;
+        g = digest(lu_crtp_dist(a, lo, np, {}, want_trace));
+        break;
+      }
+      case Method::kRandUbv: {
+        RandUbvOptions uo;
+        uo.block_size = o.block_size;
+        uo.tau = o.tau;
+        uo.seed = o.seed;
+        uo.max_rank = o.max_rank;
+        g = digest(randubv_dist(a, uo, np, {}, want_trace));
+        break;
+      }
+      case Method::kAuto:
+        break;  // unreachable: choose_method resolved it
+    }
+    std::printf("method    : %s (simulated distributed, np=%d)\n",
+                to_string(method), np);
+    std::printf("status    : %s\n", to_string(g.status));
+    std::printf("rank      : %ld in %.6fs virtual\n", g.rank,
+                g.virtual_seconds);
+    std::printf("indicator : %.3e (target %.3e)\n", g.indicator_rel, o.tau);
+    std::printf("comm      : %llu msgs, %llu bytes, max queue depth %llu\n",
+                static_cast<unsigned long long>(g.comm.total_msgs()),
+                static_cast<unsigned long long>(g.comm.total_bytes()),
+                static_cast<unsigned long long>(g.comm.max_queue_depth()));
+    if (want_trace) {
+      obs::write_chrome_trace_file(trace_path, g.trace);
+      std::printf("trace     -> %s (%zu ranks)\n", trace_path.c_str(),
+                  g.trace.size());
+    }
+    if (report) {
+      obs::write_telemetry(*report, to_string(method), g.telemetry);
+      obs::write_comm_stats(*report, g.comm);
+      obs::JsonObj summary;
+      summary.field("type", "summary")
+          .field("status", to_string(g.status))
+          .field("rank", static_cast<long long>(g.rank))
+          .field("iterations", static_cast<long long>(g.iterations))
+          .field("indicator_rel", g.indicator_rel)
+          .field("virtual_seconds", g.virtual_seconds);
+      report->write(summary);
+      std::printf("report    -> %s (%d records)\n", report_path.c_str(),
+                  report->records());
+    }
+    return 0;
+  }
+
   Stopwatch clock;
   const LowRankApprox approx = approximate(a, o);
+  const double seconds = clock.seconds();
   std::printf("method    : %s\n", to_string(approx.method()));
   std::printf("status    : %s\n", to_string(approx.status()));
-  std::printf("rank      : %ld in %.2fs\n", approx.rank(), clock.seconds());
+  std::printf("rank      : %ld in %.2fs\n", approx.rank(), seconds);
   std::printf("indicator : %.3e (target %.3e)\n", approx.indicator_rel(),
               o.tau);
   std::printf("factor sz : %ld stored values (input nnz %ld)\n",
               approx.factor_values(), a.nnz());
+  if (report) {
+    obs::write_telemetry(*report, to_string(approx.method()),
+                         approx.telemetry());
+    obs::JsonObj summary;
+    summary.field("type", "summary")
+        .field("status", to_string(approx.status()))
+        .field("rank", static_cast<long long>(approx.rank()))
+        .field("indicator_rel", approx.indicator_rel())
+        .field("wall_seconds", seconds)
+        .field("factor_values", static_cast<long long>(approx.factor_values()));
+    report->write(summary);
+    std::printf("report    -> %s (%d records)\n", report_path.c_str(),
+                report->records());
+  }
 
   const std::string out = cli.get("out", "");
   if (!out.empty()) {
