@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   using namespace lra;
   const Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 0.25);
+  bench::configure_threads(cli);
 
   bench::print_header("Table I: test matrices",
                       "Table I of the paper (SuiteSparse originals)");

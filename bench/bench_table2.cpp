@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.35);
   const int np = static_cast<int>(cli.get_int("np", 8));
   const Index k = cli.get_int("k", 16);
+  bench::configure_threads(cli);
 
   auto report = bench::open_report(cli, "bench_table2");
 

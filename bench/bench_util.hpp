@@ -9,10 +9,21 @@
 
 #include "gen/presets.hpp"
 #include "obs/report.hpp"
+#include "par/pool.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 namespace lra::bench {
+
+/// Apply --threads=N to the shared-memory kernel pool (0 or negative warns
+/// and falls back to 1 worker); returns the active worker count.
+inline int configure_threads(const Cli& cli) {
+  if (cli.has("threads")) {
+    const int n = resolve_thread_count(cli.get_int("threads", 0), "--threads");
+    ThreadPool::global().set_num_threads(n);
+  }
+  return ThreadPool::global().num_threads();
+}
 
 /// Labels requested via --matrices=M1,M2 (default: all).
 inline std::vector<std::string> requested_labels(const Cli& cli) {

@@ -14,6 +14,8 @@
 
 namespace lra {
 
+/// Fixed-precision approximation method. kAuto resolves against the matrix
+/// via choose_method() (heuristic on tau and sparsity; see driver.cpp).
 enum class Method {
   kAuto,      // heuristic choice based on tau and sparsity (see driver.cpp)
   kRandQbEi,
@@ -22,20 +24,35 @@ enum class Method {
   kRandUbv,
 };
 
+/// Stable lowercase name of a method ("randqb_ei", ...); never null.
 const char* to_string(Method m);
+/// Parse a method name as printed by to_string() (plus "auto").
+/// @throws std::invalid_argument on an unknown name.
 Method method_from_string(const std::string& s);
 
+/// Options shared by all methods. Fields irrelevant to the selected method
+/// are ignored (e.g. `power` by the LU variants, `colamd` by RandQB_EI).
 struct ApproxOptions {
   Method method = Method::kAuto;
-  double tau = 1e-3;
-  Index block_size = 32;
-  int power = 1;             // RandQB_EI only
-  std::uint64_t seed = 0x5eed;
-  Index max_rank = -1;
-  ColamdMode colamd = ColamdMode::kFirst;  // deterministic methods only
+  double tau = 1e-3;         ///< fixed-precision tolerance on ||A - H W||_F
+  Index block_size = 32;     ///< panel/block size k
+  int power = 1;             ///< power iterations (RandQB_EI only)
+  std::uint64_t seed = 0x5eed;  ///< sketch RNG seed (randomized methods)
+  Index max_rank = -1;       ///< rank budget; -1 means min(m, n)
+  ColamdMode colamd = ColamdMode::kFirst;  ///< deterministic methods only
 };
 
 /// Uniform handle over any of the method-specific results.
+///
+/// Value-semantic: owns the factors of whichever method ran (a variant of
+/// the method-specific result structs); copying copies the factors. The
+/// `as_*()` accessors return pointers *into this object* — they are valid
+/// only while the LowRankApprox is alive and must not be freed.
+///
+/// Thread-safety: all methods are const and safe to call concurrently after
+/// construction; construction itself (via approximate()) uses the global
+/// ThreadPool for the heavy kernels but returns a fully materialized,
+/// thread-independent value.
 class LowRankApprox {
  public:
   Method method() const { return method_; }
@@ -52,8 +69,12 @@ class LowRankApprox {
   const obs::TelemetrySeries& telemetry() const;
 
   /// y = (H W) x — apply the approximation to a vector.
+  /// @param x  length cols(), caller-owned.  @param y  length rows(),
+  /// overwritten.  @pre x != y.
   void apply(const double* x, double* y) const;
   /// y = (H W)^T x.
+  /// @param x  length rows().  @param y  length cols(), overwritten.
+  /// @pre x != y.
   void apply_transpose(const double* x, double* y) const;
 
   /// Densified factors (H: m x K, W: K x n). For the LU methods this folds
@@ -61,7 +82,9 @@ class LowRankApprox {
   Matrix h_dense() const;
   Matrix w_dense() const;
 
-  /// Access to the method-specific result.
+  /// Access to the method-specific result. Returns null when a different
+  /// method ran (as_lu() serves both LU_CRTP and ILUT_CRTP). The pointee is
+  /// owned by this object; it is invalidated by destruction or assignment.
   const RandQbResult* as_randqb() const;
   const LuCrtpResult* as_lu() const;
   const RandUbvResult* as_ubv() const;
@@ -84,6 +107,15 @@ Method choose_method(const CscMatrix& a, const ApproxOptions& opts);
 Method choose_method_dist(const CscMatrix& a, const ApproxOptions& opts);
 
 /// Run the selected fixed-precision method on `a`.
+///
+/// @param a     Input matrix; read-only, not retained after the call.
+/// @param opts  See ApproxOptions; kAuto picks the method via choose_method().
+/// @return A self-contained LowRankApprox with status(), factors, and
+///         telemetry; check status() == Status::kConverged before trusting
+///         indicator_rel() <= tau.
+/// @note Runs the heavy kernels on the global ThreadPool (configure with
+///       --threads / LRA_NUM_THREADS); the result is bitwise identical at
+///       any worker count.
 LowRankApprox approximate(const CscMatrix& a, const ApproxOptions& opts = {});
 
 }  // namespace lra

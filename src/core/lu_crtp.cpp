@@ -7,6 +7,7 @@
 
 #include "dense/lu.hpp"
 #include "dense/qr.hpp"
+#include "par/pool.hpp"
 #include "qrtp/tournament.hpp"
 #include "sparse/colamd.hpp"
 #include "sparse/coo.hpp"
@@ -132,23 +133,40 @@ struct EquilibratedPivot {
 
 // X = A21 * A11^{-1} as sparse, computed row-by-row through transposed
 // solves on the equilibrated block: row r of X solves y^T S = a21_r^T, then
-// X(r, j) = y(j) * dinv[j].
+// X(r, j) = y(j) * dinv[j]. The solves are independent per row of A21
+// (column of A21^T), so they run on the thread pool with per-column output
+// buffers stitched back in column order — bitwise identical at any thread
+// count.
 CscMatrix solve_a21(const CscMatrix& a21, const EquilibratedPivot& piv,
                     Index kk) {
   const CscMatrix a21t = a21.transposed();  // kk x (m - kk)
-  CooBuilder xt(kk, a21t.cols());
-  std::vector<double> rhs(static_cast<std::size_t>(kk));
-  for (Index c = 0; c < a21t.cols(); ++c) {
-    if (a21t.col_nnz(c) == 0) continue;
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-    const auto rows = a21t.col_rows(c);
-    const auto vals = a21t.col_values(c);
-    for (std::size_t q = 0; q < rows.size(); ++q) rhs[rows[q]] = vals[q];
-    piv.lu.solve_row_inplace(rhs.data());
-    for (Index r = 0; r < kk; ++r) {
-      const double v = rhs[r] * piv.dinv[r];
-      if (v != 0.0 && std::isfinite(v)) xt.add(r, c, v);
-    }
+  const Index nc = a21t.cols();
+  std::vector<std::vector<Index>> out_rows(static_cast<std::size_t>(nc));
+  std::vector<std::vector<double>> out_vals(static_cast<std::size_t>(nc));
+  ThreadPool::global().parallel_ranges(
+      Index{0}, nc, "lu_solve", /*grain=*/16, [&](Index c0, Index c1, int) {
+        std::vector<double> rhs(static_cast<std::size_t>(kk));
+        for (Index c = c0; c < c1; ++c) {
+          if (a21t.col_nnz(c) == 0) continue;
+          std::fill(rhs.begin(), rhs.end(), 0.0);
+          const auto rows = a21t.col_rows(c);
+          const auto vals = a21t.col_values(c);
+          for (std::size_t q = 0; q < rows.size(); ++q) rhs[rows[q]] = vals[q];
+          piv.lu.solve_row_inplace(rhs.data());
+          for (Index r = 0; r < kk; ++r) {
+            const double v = rhs[r] * piv.dinv[r];
+            if (v != 0.0 && std::isfinite(v)) {
+              out_rows[static_cast<std::size_t>(c)].push_back(r);
+              out_vals[static_cast<std::size_t>(c)].push_back(v);
+            }
+          }
+        }
+      });
+  CooBuilder xt(kk, nc);
+  for (Index c = 0; c < nc; ++c) {
+    const auto& rr = out_rows[static_cast<std::size_t>(c)];
+    const auto& vv = out_vals[static_cast<std::size_t>(c)];
+    for (std::size_t q = 0; q < rr.size(); ++q) xt.add(rr[q], c, vv[q]);
   }
   return xt.build().transposed();
 }

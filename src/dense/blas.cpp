@@ -3,9 +3,7 @@
 #include <cassert>
 #include <cmath>
 
-#ifdef LRA_OPENMP
-#include <omp.h>
-#endif
+#include "par/pool.hpp"
 
 namespace lra {
 namespace {
@@ -14,70 +12,87 @@ namespace {
 constexpr Index kMc = 256;
 constexpr Index kKc = 256;
 
+// Below this many multiply-adds the fork-join overhead beats the speedup.
+constexpr Index kForkWork = Index{1} << 16;
+
+// Columns of C are disjoint outputs and each element accumulates its k terms
+// in ascending order in every variant below, so splitting the j loop across
+// threads is bitwise identical to the serial execution at any thread count.
+Index gemm_grain(Index m, Index k, Index n) {
+  return m * k * n < kForkWork ? n + 1 : 1;
+}
+
 // C(mxn) += A(mxk) * B(kxn), all column-major, no transposes.
 void gemm_nn_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
   const Index m = a.rows(), k = a.cols(), n = b.cols();
-  for (Index k0 = 0; k0 < k; k0 += kKc) {
-    const Index k1 = std::min(k0 + kKc, k);
-    for (Index i0 = 0; i0 < m; i0 += kMc) {
-      const Index i1 = std::min(i0 + kMc, m);
-      // Columns of C are independent: safe to split across threads.
-#ifdef LRA_OPENMP
-#pragma omp parallel for schedule(static) if (n > 8 && m * k > 1 << 16)
-#endif
-      for (Index j = 0; j < n; ++j) {
+  ThreadPool::global().parallel_for(
+      Index{0}, n, "gemm",
+      [&](Index j) {
         double* cj = c.col(j);
         const double* bj = b.col(j);
-        for (Index p = k0; p < k1; ++p) {
-          const double w = alpha * bj[p];
-          if (w == 0.0) continue;
-          const double* ap = a.col(p);
-          for (Index i = i0; i < i1; ++i) cj[i] += w * ap[i];
+        for (Index k0 = 0; k0 < k; k0 += kKc) {
+          const Index k1 = std::min(k0 + kKc, k);
+          for (Index i0 = 0; i0 < m; i0 += kMc) {
+            const Index i1 = std::min(i0 + kMc, m);
+            for (Index p = k0; p < k1; ++p) {
+              const double w = alpha * bj[p];
+              if (w == 0.0) continue;
+              const double* ap = a.col(p);
+              for (Index i = i0; i < i1; ++i) cj[i] += w * ap[i];
+            }
+          }
         }
-      }
-    }
-  }
+      },
+      gemm_grain(m, k, n));
 }
 
 // C(mxn) += A^T(mxk as k x m stored) * B(kxn): A is (k x m), result row i of C
 // is dot of A column i with B column j -> use dot products (contiguous).
 void gemm_tn_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
   const Index m = a.cols(), k = a.rows(), n = b.cols();
-  for (Index j = 0; j < n; ++j) {
-    const double* bj = b.col(j);
-    double* cj = c.col(j);
-    for (Index i = 0; i < m; ++i) {
-      cj[i] += alpha * dot(k, a.col(i), bj);
-    }
-  }
+  ThreadPool::global().parallel_for(
+      Index{0}, n, "gemm",
+      [&](Index j) {
+        const double* bj = b.col(j);
+        double* cj = c.col(j);
+        for (Index i = 0; i < m; ++i) {
+          cj[i] += alpha * dot(k, a.col(i), bj);
+        }
+      },
+      gemm_grain(m, k, n));
 }
 
 // C(mxn) += A(mxk) * B^T (B is n x k).
 void gemm_nt_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
   const Index m = a.rows(), k = a.cols(), n = b.rows();
-  for (Index p = 0; p < k; ++p) {
-    const double* ap = a.col(p);
-    const double* bp = b.col(p);
-    for (Index j = 0; j < n; ++j) {
-      const double w = alpha * bp[j];
-      if (w == 0.0) continue;
-      double* cj = c.col(j);
-      for (Index i = 0; i < m; ++i) cj[i] += w * ap[i];
-    }
-  }
+  ThreadPool::global().parallel_for(
+      Index{0}, n, "gemm",
+      [&](Index j) {
+        double* cj = c.col(j);
+        for (Index p = 0; p < k; ++p) {
+          const double w = alpha * b(j, p);
+          if (w == 0.0) continue;
+          const double* ap = a.col(p);
+          for (Index i = 0; i < m; ++i) cj[i] += w * ap[i];
+        }
+      },
+      gemm_grain(m, k, n));
 }
 
 // C(mxn) += A^T(k x m) * B^T(n x k): C = (B*A)^T; fall back to explicit loop.
 void gemm_tt_accum(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
   const Index m = a.cols(), n = b.rows(), k = a.rows();
-  for (Index j = 0; j < n; ++j) {
-    double* cj = c.col(j);
-    for (Index p = 0; p < k; ++p) {
-      const double w = alpha * b(j, p);
-      if (w == 0.0) continue;
-      for (Index i = 0; i < m; ++i) cj[i] += w * a(p, i);
-    }
-  }
+  ThreadPool::global().parallel_for(
+      Index{0}, n, "gemm",
+      [&](Index j) {
+        double* cj = c.col(j);
+        for (Index p = 0; p < k; ++p) {
+          const double w = alpha * b(j, p);
+          if (w == 0.0) continue;
+          for (Index i = 0; i < m; ++i) cj[i] += w * a(p, i);
+        }
+      },
+      gemm_grain(m, k, n));
 }
 
 }  // namespace

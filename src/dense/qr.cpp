@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dense/blas.hpp"
+#include "dense/tsqr.hpp"
 
 namespace lra {
 namespace {
@@ -136,6 +137,19 @@ Matrix HouseholderQR::solve(const Matrix& b) const {
 
 Matrix orth(const Matrix& a) {
   if (a.empty()) return Matrix(a.rows(), 0);
+  // Tall-skinny panels (the RandQB_EI hot path) go through TSQR so the
+  // stage-1 block factorizations run on the thread pool. The 16-block grid
+  // is a function of the shape only, never of the worker count, so the
+  // returned basis is bitwise identical at any thread count. Short or
+  // near-square inputs keep the one-shot Householder path (no parallelism
+  // to win there, and other callers rely on its exact bits for small
+  // panels).
+  constexpr Index kTsqrBlocks = 16;
+  if (a.rows() >= 8 * a.cols() && a.rows() >= 2048) {
+    const Index block_rows =
+        std::max(a.cols(), (a.rows() + kTsqrBlocks - 1) / kTsqrBlocks);
+    return tsqr(a, block_rows).q;
+  }
   return HouseholderQR(a).thin_q();
 }
 

@@ -5,47 +5,80 @@
 
 #include "dense/blas.hpp"
 #include "dense/qr.hpp"
+#include "par/pool.hpp"
 
 namespace lra {
+namespace {
+
+// Row-block offsets for an m-row matrix cut into block_rows-row panels.
+std::vector<Index> block_offsets(Index m, Index block_rows) {
+  std::vector<Index> offs;
+  for (Index r0 = 0; r0 < m; r0 += block_rows) offs.push_back(r0);
+  return offs;
+}
+
+}  // namespace
 
 TsqrResult tsqr(const Matrix& a, Index block_rows) {
   const Index m = a.rows(), n = a.cols();
   assert(m >= n && block_rows >= n);
 
-  // Stage 1: independent QR per row block.
-  std::vector<Matrix> qs;
+  // Stage 1: independent QR per row block — the classic TSQR parallelism.
+  // Block b owns rows [offs[b], offs[b] + nr) of A and rows
+  // [b*n, b*n + min(nr, n)) of the stacked R, so every write is disjoint and
+  // the result is identical at any thread count.
+  const std::vector<Index> offs = block_offsets(m, block_rows);
+  const Index nblocks = static_cast<Index>(offs.size());
+  std::vector<Matrix> qs(static_cast<std::size_t>(nblocks));
+  std::vector<Matrix> rs(static_cast<std::size_t>(nblocks));
+  ThreadPool::global().parallel_for(
+      Index{0}, nblocks, "tsqr", [&](Index b) {
+        const Index r0 = offs[static_cast<std::size_t>(b)];
+        const Index nr = std::min(block_rows, m - r0);
+        HouseholderQR f(a.block(r0, 0, nr, n));
+        qs[static_cast<std::size_t>(b)] = f.thin_q();
+        rs[static_cast<std::size_t>(b)] = f.r();
+      });
+
   Matrix stacked_r(0, n);
-  std::vector<Index> offs;
-  for (Index r0 = 0; r0 < m; r0 += block_rows) {
-    const Index nr = std::min(block_rows, m - r0);
-    HouseholderQR f(a.block(r0, 0, nr, n));
-    qs.push_back(f.thin_q());
-    stacked_r.append_rows(f.r());
-    offs.push_back(r0);
+  std::vector<Index> stack_off(static_cast<std::size_t>(nblocks));
+  for (Index b = 0; b < nblocks; ++b) {
+    stack_off[static_cast<std::size_t>(b)] = stacked_r.rows();
+    stacked_r.append_rows(rs[static_cast<std::size_t>(b)]);
   }
 
-  // Stage 2: QR of the stacked R factors.
-  HouseholderQR top(stacked_r);
-  const Matrix q2 = top.thin_q();  // (nblocks*n) x n
+  // Stage 2: QR of the stacked R factors (small, serial).
+  HouseholderQR top(std::move(stacked_r));
+  const Matrix q2 = top.thin_q();  // (sum of R rows) x n
 
   TsqrResult out;
   out.r = top.r();
   out.q = Matrix(m, n);
-  for (std::size_t b = 0; b < qs.size(); ++b) {
-    const Matrix q2b = q2.block(static_cast<Index>(b) * n, 0, n, n);
-    out.q.set_block(offs[b], 0, matmul(qs[b], q2b));
-  }
+  // Q reconstruction: each block writes its own row range of Q.
+  ThreadPool::global().parallel_for(
+      Index{0}, nblocks, "tsqr", [&](Index b) {
+        const std::size_t bi = static_cast<std::size_t>(b);
+        const Matrix q2b = q2.block(stack_off[bi], 0, rs[bi].rows(), n);
+        out.q.set_block(offs[bi], 0, matmul(qs[bi], q2b));
+      });
   return out;
 }
 
 Matrix tsqr_r(const Matrix& a, Index block_rows) {
   const Index m = a.rows(), n = a.cols();
   assert(m >= n && block_rows >= n);
+  const std::vector<Index> offs = block_offsets(m, block_rows);
+  const Index nblocks = static_cast<Index>(offs.size());
+  std::vector<Matrix> rs(static_cast<std::size_t>(nblocks));
+  ThreadPool::global().parallel_for(
+      Index{0}, nblocks, "tsqr", [&](Index b) {
+        const Index r0 = offs[static_cast<std::size_t>(b)];
+        const Index nr = std::min(block_rows, m - r0);
+        rs[static_cast<std::size_t>(b)] = HouseholderQR(a.block(r0, 0, nr, n)).r();
+      });
   Matrix stacked_r(0, n);
-  for (Index r0 = 0; r0 < m; r0 += block_rows) {
-    const Index nr = std::min(block_rows, m - r0);
-    stacked_r.append_rows(HouseholderQR(a.block(r0, 0, nr, n)).r());
-  }
+  for (Index b = 0; b < nblocks; ++b)
+    stacked_r.append_rows(rs[static_cast<std::size_t>(b)]);
   return HouseholderQR(std::move(stacked_r)).r();
 }
 

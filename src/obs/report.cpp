@@ -64,4 +64,17 @@ void write_comm_stats(ReportWriter& w, const CommStats& stats) {
   w.write(o);
 }
 
+void write_pool_stats(ReportWriter& w,
+                      const std::map<std::string, PoolKernelStat>& stats) {
+  for (const auto& [label, s] : stats) {
+    JsonObj o;
+    o.field("type", "pool_kernel")
+        .field("kernel", label)
+        .field("calls", static_cast<long long>(s.calls))
+        .field("wall_seconds", s.wall_seconds)
+        .field("threads", static_cast<long long>(s.threads));
+    w.write(o);
+  }
+}
+
 }  // namespace lra::obs

@@ -3,17 +3,22 @@
 // the CLI (--report=FILE) and the bench harnesses (--report=FILE), so
 // trajectory data comes out of the tools machine-readable instead of being
 // scraped from printed tables. Every record carries a "type" discriminator:
-//   meta       — one per run: tool, matrix, method, parameters
-//   iteration  — one per solver iteration (from obs::TelemetrySeries)
-//   comm       — aggregated communication counters of a distributed run
-//   summary    — one per run: status, final rank/indicator, total seconds
+//   meta        — one per run: tool, matrix, method, parameters
+//   iteration   — one per solver iteration (from obs::TelemetrySeries)
+//   comm        — aggregated communication counters of a distributed run
+//   pool_kernel — one per thread-pool kernel label: calls, wall seconds,
+//                 worker count (sequential engine only; simulated ranks
+//                 never fork onto the pool)
+//   summary     — one per run: status, final rank/indicator, total seconds
 
 #include <fstream>
+#include <map>
 #include <string>
 
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "par/pool.hpp"
 
 namespace lra::obs {
 
@@ -38,5 +43,9 @@ void write_telemetry(ReportWriter& w, const std::string& method,
 
 /// One "comm" record summarizing a distributed run's counters.
 void write_comm_stats(ReportWriter& w, const CommStats& stats);
+
+/// One "pool_kernel" record per label from ThreadPool::kernel_stats().
+void write_pool_stats(ReportWriter& w,
+                      const std::map<std::string, PoolKernelStat>& stats);
 
 }  // namespace lra::obs

@@ -4,9 +4,7 @@
 #include <exception>
 #include <thread>
 
-#ifdef LRA_OPENMP
-#include <omp.h>
-#endif
+#include "par/pool.hpp"
 
 namespace lra {
 
@@ -204,11 +202,10 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
       // Virtual clocks charge CLOCK_THREAD_CPUTIME_ID of *this* thread; any
-      // OpenMP worker spawned inside a rank would escape the accounting, so
-      // shared-memory parallelism is disabled within simulated ranks.
-#ifdef LRA_OPENMP
-      omp_set_num_threads(1);
-#endif
+      // pool worker forked inside a rank would escape the accounting, so the
+      // thread-pool kernels run inline within simulated ranks and the
+      // virtual clocks stay bit-identical to the single-threaded runtime.
+      ThreadPool::ScopedSerial serial;
       try {
         body(ctx[r]);
       } catch (...) {

@@ -21,6 +21,14 @@
 // spans stamped with virtual begin/end times for Chrome-trace export. With
 // tracing disabled the hooks reduce to a null-pointer check and the
 // virtual-clock arithmetic is bit-identical to the uninstrumented runtime.
+//
+// Interaction with the shared-memory ThreadPool (par/pool.hpp): SimWorld
+// pins a ThreadPool::ScopedSerial guard on every rank thread, so kernels
+// invoked inside compute() never fork onto the pool — a pool worker's CPU
+// time would escape the CLOCK_THREAD_CPUTIME_ID accounting. Simulated ranks
+// are single-threaded per rank by design; the pool accelerates only the
+// sequential engine. Consequence: virtual-time results are independent of
+// --threads / LRA_NUM_THREADS.
 
 #include <condition_variable>
 #include <cstddef>
@@ -44,6 +52,12 @@ namespace lra {
 class SimWorld;
 
 /// Per-rank execution context handed to the SPMD body.
+///
+/// Ownership and lifetime: created and owned by SimWorld::run(); the
+/// reference passed to the body is valid only for the duration of the body.
+/// Thread-safety: a RankCtx belongs to exactly one rank thread — never share
+/// it across ranks. Cross-rank interaction goes exclusively through the
+/// send/recv/collective calls below, which synchronize internally.
 class RankCtx {
  public:
   int rank() const { return rank_; }
@@ -100,7 +114,16 @@ class RankCtx {
   }
 
   // --- point-to-point (buffered send, blocking receive) ---
+
+  /// Buffered send: enqueues and returns immediately; the payload is moved
+  /// into the mailbox (no aliasing with the caller afterwards).
+  /// @pre  0 <= dst < size(), dst != rank().
   void send_bytes(int dst, std::vector<std::byte> data, int tag = 0);
+  /// Blocking receive from `src` with matching `tag`; advances this rank's
+  /// virtual clock to max(own clock, sender's send clock + transfer cost).
+  /// @pre  0 <= src < size(), src != rank(). Messages from a given (src,
+  /// tag) are delivered in send order; a receive with no matching send ever
+  /// posted deadlocks, exactly like MPI.
   std::vector<std::byte> recv_bytes(int src, int tag = 0);
 
   template <typename T>
@@ -120,6 +143,10 @@ class RankCtx {
   }
 
   // --- collectives (all ranks must call in the same order) ---
+
+  /// Synchronize all ranks' virtual clocks to the max at entry.
+  /// @pre  Every rank of the world calls it (mismatched collective order
+  /// across ranks deadlocks, exactly like MPI).
   void barrier();
   /// Every rank receives every rank's contribution (the primitive all other
   /// collectives are built on). `modeled_cost` is added to the synchronized
@@ -166,8 +193,16 @@ class RankCtx {
   obs::RankTrace* trace_ = nullptr;  // null = tracing disabled
 };
 
+/// The virtual-time SPMD world (see file comment for the clock semantics).
+///
+/// Usage: construct, optionally enable_tracing(), call run() with the SPMD
+/// body, then read elapsed_virtual() / kernel_times_max() / comm_stats() /
+/// trace(). A SimWorld is reusable: each run() resets per-run state.
+/// Thread-safety: drive it from one controlling thread; run() itself spawns
+/// and joins the rank threads internally.
 class SimWorld {
  public:
+  /// @pre nranks >= 1. The cost model is fixed for the world's lifetime.
   explicit SimWorld(int nranks, CostModel cm = {});
 
   /// Record per-rank compute/p2p/collective spans in virtual time during the
@@ -177,6 +212,9 @@ class SimWorld {
 
   /// Execute the SPMD body on all ranks; returns when every rank finished.
   /// Exceptions thrown by any rank are rethrown here (first one wins).
+  /// Each rank thread runs under a ThreadPool::ScopedSerial guard — see the
+  /// file comment — so the body may freely call pool-parallel kernels; they
+  /// execute inline on the rank.
   void run(const std::function<void(RankCtx&)>& body);
 
   int size() const { return nranks_; }

@@ -4,13 +4,17 @@
 #include <cmath>
 #include <vector>
 
-#ifdef LRA_OPENMP
-#include <omp.h>
-#endif
-
 #include "dense/blas.hpp"
+#include "par/pool.hpp"
 
 namespace lra {
+namespace {
+
+// Forking is worth it only when the kernel moves enough data; below this
+// many nnz-times-columns multiply-adds the fork-join overhead dominates.
+constexpr Index kForkWork = Index{1} << 15;
+
+}  // namespace
 
 void spmv(const CscMatrix& a, const double* x, double* y) {
   for (Index i = 0; i < a.rows(); ++i) y[i] = 0.0;
@@ -36,17 +40,26 @@ void spmv_t(const CscMatrix& a, const double* x, double* y) {
 Matrix spmm(const CscMatrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  for (Index j = 0; j < a.cols(); ++j) {
-    const auto rows = a.col_rows(j);
-    const auto vals = a.col_values(j);
-    for (Index col = 0; col < b.cols(); ++col) {
-      const double w = b(j, col);
-      if (w == 0.0) continue;
-      double* cc = c.col(col);
-      for (std::size_t p = 0; p < rows.size(); ++p)
-        cc[rows[p]] += vals[p] * w;
-    }
-  }
+  // Output columns are independent (each one scans A against a single column
+  // of B), and within a column the accumulation runs over A's columns in
+  // ascending order exactly like the serial loop — any thread count yields
+  // the same bits.
+  const Index grain = a.nnz() * b.cols() < kForkWork ? b.cols() + 1 : 1;
+  ThreadPool::global().parallel_for(
+      Index{0}, b.cols(), "spmm",
+      [&](Index col) {
+        const double* bc = b.col(col);
+        double* cc = c.col(col);
+        for (Index j = 0; j < a.cols(); ++j) {
+          const double w = bc[j];
+          if (w == 0.0) continue;
+          const auto rows = a.col_rows(j);
+          const auto vals = a.col_values(j);
+          for (std::size_t p = 0; p < rows.size(); ++p)
+            cc[rows[p]] += vals[p] * w;
+        }
+      },
+      grain);
   return c;
 }
 
@@ -55,57 +68,68 @@ Matrix spmm_t(const CscMatrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   // Each output column depends on one column of b only: embarrassingly
   // parallel with bitwise-identical results per column.
-#ifdef LRA_OPENMP
-#pragma omp parallel for schedule(static) if (b.cols() > 4)
-#endif
-  for (Index col = 0; col < b.cols(); ++col) {
-    const double* bc = b.col(col);
-    double* cc = c.col(col);
-    for (Index j = 0; j < a.cols(); ++j) {
-      const auto rows = a.col_rows(j);
-      const auto vals = a.col_values(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < rows.size(); ++p) s += vals[p] * bc[rows[p]];
-      cc[j] = s;
-    }
-  }
+  const Index grain = a.nnz() * b.cols() < kForkWork ? b.cols() + 1 : 1;
+  ThreadPool::global().parallel_for(
+      Index{0}, b.cols(), "spmm_t",
+      [&](Index col) {
+        const double* bc = b.col(col);
+        double* cc = c.col(col);
+        for (Index j = 0; j < a.cols(); ++j) {
+          const auto rows = a.col_rows(j);
+          const auto vals = a.col_values(j);
+          double s = 0.0;
+          for (std::size_t p = 0; p < rows.size(); ++p)
+            s += vals[p] * bc[rows[p]];
+          cc[j] = s;
+        }
+      },
+      grain);
   return c;
 }
 
 Matrix dense_times_csc(const Matrix& b, const CscMatrix& a) {
   assert(b.cols() == a.rows());
   Matrix c(b.rows(), a.cols());
-  for (Index j = 0; j < a.cols(); ++j) {
-    const auto rows = a.col_rows(j);
-    const auto vals = a.col_values(j);
-    double* cj = c.col(j);
-    for (std::size_t p = 0; p < rows.size(); ++p) {
-      const double w = vals[p];
-      const double* bk = b.col(rows[p]);
-      for (Index i = 0; i < b.rows(); ++i) cj[i] += w * bk[i];
-    }
-  }
+  // One output column per column of A; independent across columns.
+  const Index grain = a.nnz() * b.rows() < kForkWork ? a.cols() + 1 : 1;
+  ThreadPool::global().parallel_for(
+      Index{0}, a.cols(), "spmm",
+      [&](Index j) {
+        const auto rows = a.col_rows(j);
+        const auto vals = a.col_values(j);
+        double* cj = c.col(j);
+        for (std::size_t p = 0; p < rows.size(); ++p) {
+          const double w = vals[p];
+          const double* bk = b.col(rows[p]);
+          for (Index i = 0; i < b.rows(); ++i) cj[i] += w * bk[i];
+        }
+      },
+      grain);
   return c;
 }
 
 double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w) {
   assert(a.rows() == h.rows() && a.cols() == w.cols() &&
          h.cols() == w.rows());
-  const Index block = std::max<Index>(1, 1 << 20 / std::max<Index>(1, a.rows()));
-  double sum = 0.0;
-  std::vector<double> colbuf(static_cast<std::size_t>(a.rows()));
-  for (Index j0 = 0; j0 < a.cols(); j0 += block) {
-    const Index j1 = std::min(j0 + block, a.cols());
-    for (Index j = j0; j < j1; ++j) {
-      // colbuf = H * W(:, j)
-      gemv(colbuf.data(), h, w.col(j));
-      const auto rows = a.col_rows(j);
-      const auto vals = a.col_values(j);
-      for (std::size_t p = 0; p < rows.size(); ++p)
-        colbuf[rows[p]] -= vals[p];
-      for (Index i = 0; i < a.rows(); ++i) sum += colbuf[i] * colbuf[i];
-    }
-  }
+  // Column-chunked ||A - H W||_F^2: each chunk accumulates its columns in
+  // order with a private buffer; the fixed chunk grid plus in-order partial
+  // summation keeps the result independent of the thread count.
+  constexpr Index kChunkCols = 64;
+  const double sum = ThreadPool::global().parallel_reduce_sum(
+      Index{0}, a.cols(), "residual", kChunkCols, [&](Index j0, Index j1) {
+        std::vector<double> colbuf(static_cast<std::size_t>(a.rows()));
+        double s = 0.0;
+        for (Index j = j0; j < j1; ++j) {
+          // colbuf = H * W(:, j)
+          gemv(colbuf.data(), h, w.col(j));
+          const auto rows = a.col_rows(j);
+          const auto vals = a.col_values(j);
+          for (std::size_t p = 0; p < rows.size(); ++p)
+            colbuf[rows[p]] -= vals[p];
+          for (Index i = 0; i < a.rows(); ++i) s += colbuf[i] * colbuf[i];
+        }
+        return s;
+      });
   return std::sqrt(sum);
 }
 

@@ -1,33 +1,90 @@
 #pragma once
 // Sparse-dense kernels: SpMV, SpMM and their transposes — the workhorses of
 // RandQB_EI (A*Omega, A^T*Q) and of residual checks in tests.
+//
+// Threading: the SpMM-family kernels and residual_fro run on the global
+// ThreadPool (par/pool.hpp), parallelized over output columns with static
+// slicing — output is bitwise identical at any thread count. Small inputs
+// (below a fixed work threshold) run inline with zero pool overhead, and
+// inside SimWorld ranks the kernels always degrade to serial loops so the
+// virtual-time accounting is unaffected. SpMV stays serial (memory-bound,
+// used on short vectors).
 
 #include "dense/matrix.hpp"
 #include "sparse/csc.hpp"
 
 namespace lra {
 
-/// y = A x (y has A.rows()).
+/// Sparse matrix-vector product y = A x.
+///
+/// @param a  CSC matrix; columns need not be sorted.
+/// @param x  Input vector of length a.cols(); caller-owned, not aliased by y.
+/// @param y  Output vector of length a.rows(); overwritten.
+/// @pre  x != y (no aliasing); both non-null for non-empty a.
+/// @note Serial; safe to call concurrently from different threads on
+///       disjoint outputs.
 void spmv(const CscMatrix& a, const double* x, double* y);
-/// y = A^T x (y has A.cols()).
+
+/// Transposed product y = A^T x.
+///
+/// @param x  Input of length a.rows().
+/// @param y  Output of length a.cols(); overwritten.
+/// @pre  x != y.
 void spmv_t(const CscMatrix& a, const double* x, double* y);
 
-/// C = A * B with dense B (C fresh, A.rows() x B.cols()).
+/// C = A * B with dense B.
+///
+/// @param a  m x p sparse matrix.
+/// @param b  p x n dense matrix.
+/// @return Freshly allocated m x n dense result.
+/// @pre  a.cols() == b.rows().
+/// @note Parallel over columns of C on the global pool; deterministic
+///       (bitwise identical to the serial loop) at any worker count.
 Matrix spmm(const CscMatrix& a, const Matrix& b);
-/// C = A^T * B with dense B (C fresh, A.cols() x B.cols()).
+
+/// C = A^T * B with dense B.
+///
+/// @param a  m x p sparse matrix (used transposed: p x m).
+/// @param b  m x n dense matrix.
+/// @return Freshly allocated p x n dense result.
+/// @pre  a.rows() == b.rows().
+/// @note Parallel over columns of C; deterministic at any worker count.
 Matrix spmm_t(const CscMatrix& a, const Matrix& b);
-/// C = B * A with dense B (C fresh, B.rows() x A.cols()).
+
+/// C = B * A with dense B on the left.
+///
+/// @param b  m x p dense matrix.
+/// @param a  p x n sparse matrix.
+/// @return Freshly allocated m x n dense result.
+/// @pre  b.cols() == a.rows().
+/// @note Parallel over columns of A (and hence of C); deterministic.
 Matrix dense_times_csc(const Matrix& b, const CscMatrix& a);
 
-/// Dense residual ||A - H W||_F without materializing H W when A is sparse:
-/// computed column-block-wise. H is m x K, W is K x n.
+/// Residual ||A - H W||_F without materializing H W: processed in column
+/// blocks so peak extra memory is O(m * block).
+///
+/// @param h  m x K dense left factor.
+/// @param w  K x n dense right factor.
+/// @pre  h.rows() == a.rows(), w.cols() == a.cols(), h.cols() == w.rows().
+/// @note Parallel reduction over a fixed column-chunk grid: the summation
+///       order — and hence the returned bits — is independent of the worker
+///       count (but differs from the historical single-accumulator serial
+///       sum by normal floating-point reassociation).
 double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w);
 
-/// Columns [j0, j1) of A as a dense matrix.
+/// Columns [j0, j1) of A, densified.
+///
+/// @return Freshly allocated a.rows() x (j1 - j0) matrix.
+/// @pre  0 <= j0 <= j1 <= a.cols().
 Matrix dense_columns(const CscMatrix& a, Index j0, Index j1);
 
-/// A as dense restricted to the given (sorted) row subset: result is
-/// rows.size() x A.cols().
+/// A restricted to the given row subset, densified.
+///
+/// @param rows  Strictly increasing row indices (a view; not retained after
+///              the call returns).
+/// @return Freshly allocated rows.size() x a.cols() matrix.
+/// @pre  Every element of `rows` is in [0, a.rows()); `rows` is sorted
+///       ascending without duplicates.
 Matrix dense_row_subset(const CscMatrix& a, std::span<const Index> rows);
 
 }  // namespace lra

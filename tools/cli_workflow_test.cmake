@@ -37,4 +37,20 @@ if(nlines LESS 3)
   message(FATAL_ERROR "report.jsonl has only ${nlines} lines")
 endif()
 
+# --threads=0 must not be UB: the CLI warns on stderr and runs on 1 worker.
+execute_process(
+  COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --threads=0 --out=${fact}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "approx --threads=0 failed (${rc}):\n${out}\n${err}")
+endif()
+string(FIND "${err}" "falling back to 1" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--threads=0 did not warn on stderr; got:\n${err}")
+endif()
+string(FIND "${out}" "threads   : 1" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--threads=0 did not report 1 worker; got:\n${out}")
+endif()
+
 file(REMOVE ${mtx} ${fact} ${trace} ${report})

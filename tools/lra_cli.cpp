@@ -13,6 +13,11 @@
 //       virtual-time spans and implies --np (default 4); --report writes a
 //       JSONL run report (meta/iteration/comm/summary records) for either
 //       execution mode.
+//
+//   Every subcommand accepts --threads=N to size the shared-memory kernel
+//   pool (default: LRA_NUM_THREADS or the hardware concurrency; 0 or
+//   negative values warn and fall back to 1). Simulated ranks (--np) always
+//   compute single-threaded per rank so virtual times stay comparable.
 //   lra_cli verify --mtx=a.mtx --fact=fact.bin
 //       Reload stored factors and report the exact achieved error.
 
@@ -32,6 +37,7 @@
 #include "gen/presets.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "par/pool.hpp"
 #include "sparse/io_mm.hpp"
 #include "sparse/ops.hpp"
 #include "support/cli.hpp"
@@ -215,10 +221,12 @@ int cmd_approx(const Cli& cli) {
     return 0;
   }
 
+  ThreadPool::global().reset_stats();
   Stopwatch clock;
   const LowRankApprox approx = approximate(a, o);
   const double seconds = clock.seconds();
   std::printf("method    : %s\n", to_string(approx.method()));
+  std::printf("threads   : %d\n", ThreadPool::global().num_threads());
   std::printf("status    : %s\n", to_string(approx.status()));
   std::printf("rank      : %ld in %.2fs\n", approx.rank(), seconds);
   std::printf("indicator : %.3e (target %.3e)\n", approx.indicator_rel(),
@@ -228,6 +236,7 @@ int cmd_approx(const Cli& cli) {
   if (report) {
     obs::write_telemetry(*report, to_string(approx.method()),
                          approx.telemetry());
+    obs::write_pool_stats(*report, ThreadPool::global().kernel_stats());
     obs::JsonObj summary;
     summary.field("type", "summary")
         .field("status", to_string(approx.status()))
@@ -284,6 +293,11 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const lra::Cli cli(argc - 1, argv + 1);
   try {
+    if (cli.has("threads")) {
+      const int n =
+          lra::resolve_thread_count(cli.get_int("threads", 0), "--threads");
+      lra::ThreadPool::global().set_num_threads(n);
+    }
     if (cmd == "generate") return cmd_generate(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "approx") return cmd_approx(cli);
