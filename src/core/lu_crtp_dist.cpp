@@ -27,7 +27,7 @@ struct Triplet {
 }  // namespace
 
 DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
-                          int nranks, CostModel cm, bool collect_trace) {
+                          int nranks, const SimOptions& sim) {
   DistLuResult out;
   const Index k = opts.block_size;
   const Index lmax = std::min(a.rows(), a.cols());
@@ -45,11 +45,10 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
     a0 = permute_columns(a, pre);
   }
 
-  SimWorld world(nranks, cm);
-  world.enable_tracing(collect_trace);
+  SimWorld world(nranks, sim);
   std::mutex out_mu;
 
-  world.run([&](RankCtx& ctx) {
+  auto body = [&](RankCtx& ctx) {
     const int p = ctx.size();
     const int r = ctx.rank();
 
@@ -458,7 +457,20 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
       for (const Triplet& t : all_u) ub.add(t.i, col_pos[t.j], t.v);
       res.u = ub.build();
     }
-  });
+  };
+
+  try {
+    world.run(body);
+  } catch (const sim::CommFaultError&) {
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  } catch (const std::out_of_range&) {
+    // A corrupted payload that slipped past the transport and was rejected by
+    // ByteReader's bounds checks; only reachable with a fault plan installed.
+    if (!world.fault_plan()) throw;
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  }
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();

@@ -26,8 +26,19 @@ struct DistLuResult {
   std::vector<obs::RankTrace> trace;   // per-rank spans (collect_trace only)
 };
 
+/// Primary overload: bundled runtime options (cost model, tracing, and an
+/// optional deterministic fault plan). A payload corruption injected by the
+/// plan and detected by the transport aborts the run and is reported as
+/// Status::kCommFault — with virtual times, comm counters and traces
+/// collected up to the abort — never as a crash.
 DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
-                          int nranks, CostModel cm = {},
-                          bool collect_trace = false);
+                          int nranks, const SimOptions& sim);
+
+/// Legacy fault-free overload.
+inline DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
+                                 int nranks, CostModel cm = {},
+                                 bool collect_trace = false) {
+  return lu_crtp_dist(a, opts, nranks, SimOptions{cm, collect_trace, {}});
+}
 
 }  // namespace lra

@@ -70,7 +70,7 @@ Matrix tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
 }  // namespace
 
 DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
-                                int nranks, CostModel cm, bool collect_trace) {
+                                int nranks, const SimOptions& sim) {
   DistRandQbResult out;
   const Index m = a.rows(), n = a.cols();
   const Index k = opts.block_size;
@@ -79,11 +79,10 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
   const double anorm = a.frobenius_norm();
   const double target = opts.tau * anorm;
 
-  SimWorld world(nranks, cm);
-  world.enable_tracing(collect_trace);
+  SimWorld world(nranks, sim);
   std::mutex out_mu;
 
-  world.run([&](RankCtx& ctx) {
+  auto body = [&](RankCtx& ctx) {
     const Slice rs = slice_of(m, ctx.size(), ctx.rank());  // rows of A, Q
     const Slice cs = slice_of(n, ctx.size(), ctx.rank());  // cols of B
     const CscMatrix a_loc = a.block(rs.begin, rs.end, 0, n);
@@ -277,7 +276,20 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
       out.iter_indicator = iter_ind;
       out.iter_rank = iter_rank_v;
     }
-  });
+  };
+
+  try {
+    world.run(body);
+  } catch (const sim::CommFaultError&) {
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  } catch (const std::out_of_range&) {
+    // A corrupted payload that slipped past the transport and was rejected by
+    // ByteReader's bounds checks; only reachable with a fault plan installed.
+    if (!world.fault_plan()) throw;
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  }
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();

@@ -25,8 +25,20 @@ struct DistRandQbResult {
   std::vector<obs::RankTrace> trace;   // per-rank spans (collect_trace only)
 };
 
+/// Primary overload: bundled runtime options (cost model, tracing, and an
+/// optional deterministic fault plan). A payload corruption injected by the
+/// plan and detected by the transport aborts the run and is reported as
+/// Status::kCommFault — with virtual times, comm counters and traces
+/// collected up to the abort — never as a crash.
 DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
-                                int nranks, CostModel cm = {},
-                                bool collect_trace = false);
+                                int nranks, const SimOptions& sim);
+
+/// Legacy fault-free overload.
+inline DistRandQbResult randqb_ei_dist(const CscMatrix& a,
+                                       const RandQbOptions& opts, int nranks,
+                                       CostModel cm = {},
+                                       bool collect_trace = false) {
+  return randqb_ei_dist(a, opts, nranks, SimOptions{cm, collect_trace, {}});
+}
 
 }  // namespace lra

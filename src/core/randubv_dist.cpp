@@ -93,7 +93,7 @@ void allreduce_inplace(RankCtx& ctx, Matrix& m) {
 }  // namespace
 
 DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
-                               int nranks, CostModel cm, bool collect_trace) {
+                               int nranks, const SimOptions& sim) {
   DistRandUbvResult out;
   const Index m = a.rows(), n = a.cols();
   const Index lmax = std::min(m, n);
@@ -102,11 +102,10 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
   const double anorm = a.frobenius_norm();
   const double target = opts.tau * anorm;
 
-  SimWorld world(nranks, cm);
-  world.enable_tracing(collect_trace);
+  SimWorld world(nranks, sim);
   std::mutex out_mu;
 
-  world.run([&](RankCtx& ctx) {
+  auto body = [&](RankCtx& ctx) {
     const Slice rs = slice_of(m, ctx.size(), ctx.rank());  // rows of A, U
     const Slice cs = slice_of(n, ctx.size(), ctx.rank());  // rows of V
     const CscMatrix a_loc = a.block(rs.begin, rs.end, 0, n);
@@ -245,7 +244,20 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
       out.iter_indicator = iter_ind;
       out.iter_rank = iter_rank;
     }
-  });
+  };
+
+  try {
+    world.run(body);
+  } catch (const sim::CommFaultError&) {
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  } catch (const std::out_of_range&) {
+    // A corrupted payload that slipped past the transport and was rejected by
+    // ByteReader's bounds checks; only reachable with a fault plan installed.
+    if (!world.fault_plan()) throw;
+    out.result.status = Status::kCommFault;
+    out.result.anorm_f = anorm;
+  }
 
   out.virtual_seconds = world.elapsed_virtual();
   out.kernel_seconds = world.kernel_times_max();

@@ -53,6 +53,9 @@ class Reader {
  public:
   explicit Reader(const std::string& path) : is_(path, std::ios::binary) {
     if (!is_) throw std::runtime_error("cannot open " + path);
+    is_.seekg(0, std::ios::end);
+    file_size_ = static_cast<std::uint64_t>(is_.tellg());
+    is_.seekg(0, std::ios::beg);
     char magic[8];
     is_.read(magic, sizeof(magic));
     if (!is_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
@@ -68,6 +71,12 @@ class Reader {
   template <typename T>
   std::vector<T> vec() {
     const auto n = pod<std::uint64_t>();
+    // A corrupted (e.g. bit-flipped) length field must fail here with a
+    // structured error, before the allocation — never by attempting a
+    // multi-gigabyte vector the file cannot possibly back.
+    if (n > remaining() / sizeof(T))
+      throw std::runtime_error(
+          "corrupt factorization file: length field exceeds file size");
     std::vector<T> v(n);
     is_.read(reinterpret_cast<char*>(v.data()),
              static_cast<std::streamsize>(n * sizeof(T)));
@@ -77,6 +86,14 @@ class Reader {
   Matrix matrix() {
     const auto rows = pod<std::int64_t>();
     const auto cols = pod<std::int64_t>();
+    if (rows < 0 || cols < 0)
+      throw std::runtime_error(
+          "corrupt factorization file: negative matrix dimension");
+    const std::uint64_t budget = remaining() / sizeof(double);
+    if (rows > 0 && static_cast<std::uint64_t>(cols) >
+                        budget / static_cast<std::uint64_t>(rows))
+      throw std::runtime_error(
+          "corrupt factorization file: matrix dimensions exceed file size");
     Matrix m(rows, cols);
     is_.read(reinterpret_cast<char*>(m.data()),
              static_cast<std::streamsize>(m.size() * sizeof(double)));
@@ -86,15 +103,38 @@ class Reader {
   CscMatrix csc() {
     const auto rows = pod<std::int64_t>();
     const auto cols = pod<std::int64_t>();
+    if (rows < 0 || cols < 0)
+      throw std::runtime_error(
+          "corrupt factorization file: negative matrix dimension");
     auto colptr = vec<Index>();
     auto rowind = vec<Index>();
     auto values = vec<double>();
+    // Validate the CSC structure before handing it to the constructor (whose
+    // debug-only assert is no defence in release builds): corrupted index
+    // data must be a structured error, not a latent out-of-bounds read.
+    bool ok = colptr.size() == static_cast<std::size_t>(cols) + 1 &&
+              !colptr.empty() && colptr.front() == 0 &&
+              rowind.size() == values.size() &&
+              colptr.back() == static_cast<Index>(rowind.size());
+    for (std::size_t j = 0; ok && j + 1 < colptr.size(); ++j)
+      ok = colptr[j] <= colptr[j + 1];
+    for (std::size_t p = 0; ok && p < rowind.size(); ++p)
+      ok = rowind[p] >= 0 && rowind[p] < rows;
+    if (!ok)
+      throw std::runtime_error(
+          "corrupt factorization file: invalid sparse structure");
     return CscMatrix(rows, cols, std::move(colptr), std::move(rowind),
                      std::move(values));
   }
 
  private:
+  std::uint64_t remaining() {
+    const auto pos = static_cast<std::uint64_t>(is_.tellg());
+    return pos > file_size_ ? 0 : file_size_ - pos;
+  }
+
   std::ifstream is_;
+  std::uint64_t file_size_ = 0;
 };
 
 }  // namespace

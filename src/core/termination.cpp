@@ -12,6 +12,8 @@ const char* to_string(Status s) {
       return "breakdown";
     case Status::kIndicatorFloor:
       return "indicator-floor";
+    case Status::kCommFault:
+      return "comm-fault";
   }
   return "unknown";
 }

@@ -28,6 +28,8 @@ enum class Status {
   kMaxIterations,    // ran out of iterations / rank budget
   kBreakdown,        // numerical breakdown (singular pivot block)
   kIndicatorFloor,   // tau below the double-precision indicator floor
+  kCommFault,        // distributed run aborted on a detected payload
+                     // corruption (sim/fault injection, CommFaultError)
 };
 
 const char* to_string(Status s);

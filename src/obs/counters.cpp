@@ -23,6 +23,12 @@ std::uint64_t CommCounters::total_collective_calls() const {
   return n;
 }
 
+std::uint64_t CommCounters::total_fault_events() const {
+  return vsum(msgs_delayed_to) + vsum(msgs_duplicated_to) +
+         vsum(msgs_corrupted_to) + vsum(dups_dropped_from) +
+         vsum(corrupt_detected_from) + coll_delay_faults + coll_flip_faults;
+}
+
 std::uint64_t CommStats::total_msgs() const {
   std::uint64_t n = 0;
   for (const auto& c : per_rank) n += c.total_msgs_sent();
@@ -41,25 +47,44 @@ std::uint64_t CommStats::max_queue_depth() const {
   return d;
 }
 
+std::uint64_t CommStats::total_fault_events() const {
+  std::uint64_t n = 0;
+  for (const auto& c : per_rank) n += c.total_fault_events();
+  return n;
+}
+
 std::string CommStats::check_invariants() const {
   const int p = static_cast<int>(per_rank.size());
   for (int s = 0; s < p; ++s) {
     for (int d = 0; d < p; ++d) {
       const std::uint64_t sent = per_rank[s].bytes_sent_to[d];
       const std::uint64_t recv = per_rank[d].bytes_recv_from[s];
-      if (sent != recv)
+      if (aborted ? recv > sent : sent != recv)
         return "bytes mismatch " + std::to_string(s) + "->" +
                std::to_string(d) + ": sent " + std::to_string(sent) +
                ", received " + std::to_string(recv);
       const std::uint64_t ms = per_rank[s].msgs_sent_to[d];
       const std::uint64_t mr = per_rank[d].msgs_recv_from[s];
-      if (ms != mr)
+      if (aborted ? mr > ms : ms != mr)
         return "message-count mismatch " + std::to_string(s) + "->" +
                std::to_string(d) + ": sent " + std::to_string(ms) +
                ", received " + std::to_string(mr);
+      const std::uint64_t dup = per_rank[s].msgs_duplicated_to[d];
+      const std::uint64_t dropped = per_rank[d].dups_dropped_from[s];
+      if (aborted ? dropped > dup : dup != dropped)
+        return "duplicate accounting mismatch " + std::to_string(s) + "->" +
+               std::to_string(d) + ": duplicated " + std::to_string(dup) +
+               ", dropped " + std::to_string(dropped);
+      const std::uint64_t corrupted = per_rank[s].msgs_corrupted_to[d];
+      const std::uint64_t detected = per_rank[d].corrupt_detected_from[s];
+      if (detected > corrupted)
+        return "corruption accounting mismatch " + std::to_string(s) + "->" +
+               std::to_string(d) + ": corrupted " + std::to_string(corrupted) +
+               ", detected " + std::to_string(detected);
     }
   }
-  for (int r = 1; r < p; ++r) {
+  // Ranks torn down mid-protocol legitimately disagree on collective counts.
+  for (int r = 1; !aborted && r < p; ++r) {
     if (per_rank[r].collective_calls != per_rank[0].collective_calls)
       return "collective call counts differ between rank 0 and rank " +
              std::to_string(r);

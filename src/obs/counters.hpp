@@ -25,6 +25,18 @@ struct CommCounters {
   std::map<std::string, std::uint64_t> collective_calls;
   std::map<std::string, std::uint64_t> collective_bytes;  // local contribution
 
+  // Fault-injection accounting (all zero when no FaultPlan is installed).
+  // Sender side, indexed by destination rank:
+  std::vector<std::uint64_t> msgs_delayed_to;     // delay faults applied
+  std::vector<std::uint64_t> msgs_duplicated_to;  // duplicate copies enqueued
+  std::vector<std::uint64_t> msgs_corrupted_to;   // bit-flip faults applied
+  // Receiver side, indexed by source rank:
+  std::vector<std::uint64_t> dups_dropped_from;     // duplicate copies discarded
+  std::vector<std::uint64_t> corrupt_detected_from; // checksum mismatches seen
+  // Collective faults decided on this rank:
+  std::uint64_t coll_delay_faults = 0;
+  std::uint64_t coll_flip_faults = 0;
+
   /// Deepest this rank's incoming mailboxes ever got (filled post-run).
   std::uint64_t max_queue_depth = 0;
 
@@ -33,6 +45,13 @@ struct CommCounters {
     bytes_sent_to.assign(static_cast<std::size_t>(nranks), 0);
     msgs_recv_from.assign(static_cast<std::size_t>(nranks), 0);
     bytes_recv_from.assign(static_cast<std::size_t>(nranks), 0);
+    msgs_delayed_to.assign(static_cast<std::size_t>(nranks), 0);
+    msgs_duplicated_to.assign(static_cast<std::size_t>(nranks), 0);
+    msgs_corrupted_to.assign(static_cast<std::size_t>(nranks), 0);
+    dups_dropped_from.assign(static_cast<std::size_t>(nranks), 0);
+    corrupt_detected_from.assign(static_cast<std::size_t>(nranks), 0);
+    coll_delay_faults = 0;
+    coll_flip_faults = 0;
     collective_calls.clear();
     collective_bytes.clear();
     max_queue_depth = 0;
@@ -43,22 +62,34 @@ struct CommCounters {
   std::uint64_t total_msgs_recv() const;
   std::uint64_t total_bytes_recv() const;
   std::uint64_t total_collective_calls() const;
+  /// Total fault events recorded on this rank (all kinds).
+  std::uint64_t total_fault_events() const;
 };
 
 /// World-level aggregate assembled by SimWorld::run.
 struct CommStats {
   std::vector<CommCounters> per_rank;
+  /// True when the run was torn down early (a rank raised an error, e.g. a
+  /// detected payload corruption); mail may legitimately be undrained then.
+  bool aborted = false;
 
   std::uint64_t total_msgs() const;        // sum of sends over ranks
   std::uint64_t total_bytes() const;       // sum of sent bytes over ranks
   std::uint64_t max_queue_depth() const;   // max over ranks
+  std::uint64_t total_fault_events() const;  // sum over ranks, all kinds
 
   /// Cross-rank consistency checks:
   ///   * bytes/messages rank s sent to rank d equal bytes/messages rank d
-  ///     received from rank s (every message was drained);
+  ///     received from rank s (every message was drained) — delivery counts
+  ///     exclude injected duplicate copies, so delay/dup fault plans must
+  ///     still satisfy the equalities;
+  ///   * every duplicate copy rank s enqueued for rank d was discarded by
+  ///     rank d's transport (duplicated == dups_dropped per edge);
+  ///   * corruption detections never exceed injected corruptions per edge;
   ///   * every rank made the same collective calls the same number of times.
-  /// Returns an empty string when consistent, else a description of the
-  /// first violation.
+  /// On aborted runs the drain equalities relax to "received <= sent" (mail
+  /// may be stranded, never invented). Returns an empty string when
+  /// consistent, else a description of the first violation.
   std::string check_invariants() const;
 };
 

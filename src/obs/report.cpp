@@ -58,6 +58,8 @@ void write_comm_stats(ReportWriter& w, const CommStats& stats) {
     colls += '}';
     o.raw("collectives", colls);
   }
+  o.field("aborted", stats.aborted)
+      .field("fault_events", stats.total_fault_events());
   const std::string inv = stats.check_invariants();
   o.field("consistent", inv.empty());
   if (!inv.empty()) o.field("violation", inv);

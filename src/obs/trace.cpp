@@ -16,6 +16,8 @@ const char* to_string(SpanCat cat) {
       return "p2p";
     case SpanCat::kCollective:
       return "collective";
+    case SpanCat::kFault:
+      return "fault";
   }
   return "unknown";
 }

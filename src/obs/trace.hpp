@@ -20,6 +20,7 @@ enum class SpanCat {
   kCompute,     // ctx.compute(...) sections, charged by thread-CPU time
   kP2P,         // send/recv point-to-point
   kCollective,  // exchange_all-based collectives
+  kFault,       // injected fault events (zero-length markers)
 };
 
 const char* to_string(SpanCat cat);

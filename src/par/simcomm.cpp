@@ -7,25 +7,95 @@
 #include "par/pool.hpp"
 
 namespace lra {
+namespace {
+
+/// Internal unwind signal: a peer rank raised an error and SimWorld::abort_run
+/// released everyone blocked in recv/collectives. Not an application error —
+/// the rank wrapper in SimWorld::run filters it out so only the originating
+/// exception is reported.
+struct SimAbort {};
+
+/// Decision-stream key of the directed edge src -> dst.
+std::uint64_t edge_key(int src, int dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+void flip_bit(std::vector<std::byte>& data, std::uint64_t bit) {
+  data[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::byte>(1u << (bit % 8));
+}
+
+}  // namespace
 
 int RankCtx::size() const { return world_->nranks_; }
 
 const CostModel& RankCtx::cost() const { return world_->cost_; }
 
 void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
+  if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(dst) * world_->nranks_ + rank_];
   const std::size_t nbytes = data.size();
   const double v0 = vclock_;
-  const double arrival = vclock_ + world_->cost_.p2p(nbytes);
+
+  double transfer = world_->cost_.p2p(nbytes);
+  const sim::FaultPlan* fp = world_->fault_plan_;
+  std::uint64_t edge = 0;
+  std::uint64_t seq = 0;
+  bool dup = false;
+  if (fp) {
+    edge = edge_key(rank_, dst);
+    seq = p2p_seq_[static_cast<std::size_t>(dst)]++;
+    if (fp->delay_prob > 0.0 &&
+        sim::fault_uniform(fp->seed, sim::FaultStream::kDelay, edge, seq) <
+            fp->delay_prob) {
+      transfer *= fp->delay_factor;
+      counters_.msgs_delayed_to[dst] += 1;
+      trace_fault("fault:delay", nbytes, dst);
+    }
+    dup = fp->dup_prob > 0.0 &&
+          sim::fault_uniform(fp->seed, sim::FaultStream::kDup, edge, seq) <
+              fp->dup_prob;
+  }
+  const double arrival = vclock_ + transfer;
+
+  SimWorld::Message msg{tag, std::move(data), arrival};
+  if (fp) {
+    // Checksum the payload *before* any flip, like a sender-side CRC; the
+    // receiver recomputes and detects the in-flight corruption.
+    msg.has_checksum = true;
+    msg.checksum = sim::payload_checksum(msg.data.data(), msg.data.size());
+    if (fp->flip_prob > 0.0 && !msg.data.empty() &&
+        sim::fault_uniform(fp->seed, sim::FaultStream::kFlip, edge, seq) <
+            fp->flip_prob) {
+      flip_bit(msg.data, sim::fault_hash(fp->seed, sim::FaultStream::kBitIndex,
+                                         edge, seq) %
+                             (8 * msg.data.size()));
+      counters_.msgs_corrupted_to[dst] += 1;
+      trace_fault("fault:flip", nbytes, dst);
+    }
+  }
+
   // Buffered send: the sender pays only the injection latency.
   vclock_ += world_->cost_.alpha;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.per_src_queue.push_back(SimWorld::Message{tag, std::move(data), arrival});
+    if (dup) {
+      SimWorld::Message copy = msg;  // same payload (post-flip) and arrival
+      copy.dup_copy = true;
+      box.per_src_queue.push_back(std::move(msg));
+      box.per_src_queue.push_back(std::move(copy));
+    } else {
+      box.per_src_queue.push_back(std::move(msg));
+    }
     box.depth_hwm = std::max(box.depth_hwm, box.per_src_queue.size());
   }
   box.cv.notify_all();
+  if (dup) {
+    counters_.msgs_duplicated_to[dst] += 1;
+    trace_fault("fault:dup", nbytes, dst);
+  }
   counters_.msgs_sent_to[dst] += 1;
   counters_.bytes_sent_to[dst] += nbytes;
   if (trace_)
@@ -39,8 +109,16 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
   const double v0 = vclock_;
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
-    for (auto it = box.per_src_queue.begin(); it != box.per_src_queue.end();
-         ++it) {
+    for (auto it = box.per_src_queue.begin();
+         it != box.per_src_queue.end();) {
+      if (it->dup_copy) {
+        // Injected duplicate: the transport discards it on sight (sequence-
+        // number dedup) and keeps scanning for the real message.
+        it = box.per_src_queue.erase(it);
+        counters_.dups_dropped_from[src] += 1;
+        trace_fault("fault:dup-drop", 0, src);
+        continue;
+      }
       if (it->tag == tag) {
         SimWorld::Message msg = std::move(*it);
         box.per_src_queue.erase(it);
@@ -51,9 +129,23 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
         if (trace_)
           trace_->span("recv<-" + std::to_string(src), obs::SpanCat::kP2P, v0,
                        vclock_, msg.data.size(), src);
+        if (msg.has_checksum &&
+            sim::payload_checksum(msg.data.data(), msg.data.size()) !=
+                msg.checksum) {
+          counters_.corrupt_detected_from[src] += 1;
+          trace_fault("fault:detect", msg.data.size(), src);
+          world_->abort_run();
+          throw sim::CommFaultError(
+              "corrupted payload detected: " + std::to_string(msg.data.size()) +
+                  "-byte message from rank " + std::to_string(src) +
+                  " to rank " + std::to_string(rank_) + " failed its checksum",
+              src, rank_);
+        }
         return std::move(msg.data);
       }
+      ++it;
     }
+    if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
     box.cv.wait(lock);
   }
 }
@@ -61,17 +153,47 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
 std::vector<std::vector<std::byte>> RankCtx::exchange_all(
     std::vector<std::byte> contribution, double modeled_cost,
     const char* label) {
+  const sim::FaultPlan* fp = world_->fault_plan_;
+  bool flip_here = false;
+  if (fp) {
+    const std::uint64_t seq = coll_seq_++;
+    const auto me = static_cast<std::uint64_t>(rank_);
+    if (fp->delay_prob > 0.0 &&
+        sim::fault_uniform(fp->seed, sim::FaultStream::kCollDelay, me, seq) <
+            fp->delay_prob) {
+      modeled_cost *= fp->delay_factor;
+      counters_.coll_delay_faults += 1;
+      trace_fault("fault:coll-delay", contribution.size());
+    }
+    // Empty contributions (barrier, non-root bcast) carry no bits to flip.
+    flip_here =
+        fp->flip_prob > 0.0 && !contribution.empty() &&
+        sim::fault_uniform(fp->seed, sim::FaultStream::kCollFlip, me, seq) <
+            fp->flip_prob;
+    if (flip_here) {
+      flip_bit(contribution,
+               sim::fault_hash(fp->seed, sim::FaultStream::kBitIndex, me, seq) %
+                   (8 * contribution.size()));
+      counters_.coll_flip_faults += 1;
+      trace_fault("fault:coll-flip", contribution.size());
+    }
+  }
+
   const std::size_t nbytes = contribution.size();
   const double v0 = vclock_;
   SimWorld::CollectiveCtx& c = world_->coll_;
   std::unique_lock<std::mutex> lock(c.mu);
+  if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
   const long my_gen = c.generation;
   c.contrib[rank_] = std::move(contribution);
+  if (flip_here) c.corrupt = true;
   c.vt_max = std::max(c.vt_max, vclock_);
   c.cost_max = std::max(c.cost_max, modeled_cost);
   if (++c.arrived == world_->nranks_) {
     c.result = std::move(c.contrib);
     c.contrib.assign(static_cast<std::size_t>(world_->nranks_), {});
+    c.result_corrupt = c.corrupt;
+    c.corrupt = false;
     c.vt_out = c.vt_max + c.cost_max;
     c.vt_max = 0.0;
     c.cost_max = 0.0;
@@ -79,13 +201,30 @@ std::vector<std::vector<std::byte>> RankCtx::exchange_all(
     ++c.generation;
     c.cv.notify_all();
   } else {
-    c.cv.wait(lock, [&] { return c.generation != my_gen; });
+    c.cv.wait(lock, [&] {
+      return c.generation != my_gen ||
+             world_->aborted_.load(std::memory_order_relaxed);
+    });
+    // Torn down before the collective completed: unwind, don't deliver.
+    if (c.generation == my_gen) throw SimAbort{};
   }
   vclock_ = c.vt_out;
   counters_.collective_calls[label] += 1;
   counters_.collective_bytes[label] += nbytes;
   if (trace_)
     trace_->span(label, obs::SpanCat::kCollective, v0, vclock_, nbytes);
+  if (c.result_corrupt) {
+    // Every rank of this generation sees the flag (it holds c.mu, and the
+    // next generation cannot complete before this rank releases it), so all
+    // participants report the corrupted collective instead of consuming it.
+    lock.unlock();
+    world_->abort_run();
+    throw sim::CommFaultError(
+        std::string(label) +
+            ": corrupted collective contribution detected at rank " +
+            std::to_string(rank_),
+        /*src=*/-1, rank_);
+  }
   return c.result;  // copy: every rank gets the full set
 }
 
@@ -182,8 +321,44 @@ SimWorld::SimWorld(int nranks, CostModel cm)
   coll_.contrib.assign(static_cast<std::size_t>(nranks), {});
 }
 
+SimWorld::SimWorld(int nranks, const SimOptions& opts)
+    : SimWorld(nranks, opts.cost) {
+  tracing_ = opts.collect_trace;
+  if (opts.faults.enabled()) install_faults(opts.faults);
+}
+
+void SimWorld::abort_run() {
+  aborted_.store(true);
+  // Wake everything that could be blocked. Taking each lock before notifying
+  // closes the race against a rank that checked the flag and is about to
+  // wait: it either sees the flag or is woken after it waits.
+  for (Mailbox& box : mailbox_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(coll_.mu);
+    coll_.cv.notify_all();
+  }
+}
+
 void SimWorld::run(const std::function<void(RankCtx&)>& body) {
-  for (Mailbox& box : mailbox_) box.depth_hwm = 0;
+  // Reset per-run state (an aborted previous run may have stranded mail and
+  // a half-arrived collective generation).
+  aborted_.store(false);
+  for (Mailbox& box : mailbox_) {
+    box.per_src_queue.clear();
+    box.depth_hwm = 0;
+  }
+  coll_.generation = 0;
+  coll_.arrived = 0;
+  coll_.vt_max = 0.0;
+  coll_.cost_max = 0.0;
+  coll_.vt_out = 0.0;
+  coll_.corrupt = false;
+  coll_.result_corrupt = false;
+  coll_.contrib.assign(static_cast<std::size_t>(nranks_), {});
+  coll_.result.clear();
   trace_bufs_.clear();
   if (tracing_) trace_bufs_.resize(static_cast<std::size_t>(nranks_));
 
@@ -193,6 +368,10 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
     ctx.push_back(RankCtx(this, r));
     ctx.back().counters_.resize(nranks_);
     if (tracing_) ctx.back().trace_ = &trace_bufs_[static_cast<std::size_t>(r)];
+    if (fault_plan_) {
+      ctx.back().compute_factor_ = faults_.compute_factor(r);
+      ctx.back().p2p_seq_.assign(static_cast<std::size_t>(nranks_), 0);
+    }
   }
 
   std::vector<std::thread> threads;
@@ -208,19 +387,26 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
       ThreadPool::ScopedSerial serial;
       try {
         body(ctx[r]);
+      } catch (const SimAbort&) {
+        // Peer unwound by abort_run: not an error of this rank.
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_run();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
+  // Aggregate before rethrowing: an aborted run still reports its virtual
+  // times, counters and traces (the harness asserts on them).
   elapsed_virtual_ = 0.0;
   kernel_max_.clear();
   comm_stats_.per_rank.clear();
   comm_stats_.per_rank.reserve(static_cast<std::size_t>(nranks_));
+  comm_stats_.aborted = aborted_.load();
   for (const auto& c : ctx) {
     elapsed_virtual_ = std::max(elapsed_virtual_, c.vtime());
     for (const auto& [name, secs] : c.kernel_times()) {
@@ -234,12 +420,22 @@ void SimWorld::run(const std::function<void(RankCtx&)>& body) {
   for (int dst = 0; dst < nranks_; ++dst) {
     std::uint64_t hwm = 0;
     for (int src = 0; src < nranks_; ++src) {
-      const Mailbox& box =
-          mailbox_[static_cast<std::size_t>(dst) * nranks_ + src];
+      Mailbox& box = mailbox_[static_cast<std::size_t>(dst) * nranks_ + src];
       hwm = std::max(hwm, static_cast<std::uint64_t>(box.depth_hwm));
+      // Duplicate copies still in the mailbox were discarded by the
+      // transport at teardown (connection close), completing the
+      // duplicated == dropped accounting for trailing messages.
+      if (fault_plan_) {
+        for (const Message& m : box.per_src_queue)
+          if (m.dup_copy)
+            comm_stats_.per_rank[static_cast<std::size_t>(dst)]
+                .dups_dropped_from[src] += 1;
+      }
     }
     comm_stats_.per_rank[static_cast<std::size_t>(dst)].max_queue_depth = hwm;
   }
+
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace lra

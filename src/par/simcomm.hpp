@@ -30,6 +30,7 @@
 // sequential engine. Consequence: virtual-time results are independent of
 // --threads / LRA_NUM_THREADS.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -45,11 +46,23 @@
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "par/cost_model.hpp"
+#include "sim/fault/fault.hpp"
 #include "support/stopwatch.hpp"
 
 namespace lra {
 
 class SimWorld;
+
+/// Bundled configuration of a SimWorld-backed run: the alpha-beta cost
+/// model, event tracing, and an optional deterministic fault plan
+/// (sim/fault). The distributed solvers take a SimOptions so fault-injection
+/// and tracing flow through one parameter; the legacy (CostModel, bool)
+/// overloads remain for fault-free callers.
+struct SimOptions {
+  CostModel cost{};
+  bool collect_trace = false;
+  sim::FaultPlan faults{};  // faults.enabled() == false -> no fault layer
+};
 
 /// Per-rank execution context handed to the SPMD body.
 ///
@@ -74,12 +87,12 @@ class RankCtx {
     const double t0 = thread_cpu_seconds();
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
-      const double dt = thread_cpu_seconds() - t0;
+      const double dt = straggle(thread_cpu_seconds() - t0);
       vclock_ += dt;
       trace_compute("compute", dt);
     } else {
       decltype(auto) r = f();
-      const double dt = thread_cpu_seconds() - t0;
+      const double dt = straggle(thread_cpu_seconds() - t0);
       vclock_ += dt;
       trace_compute("compute", dt);
       return r;
@@ -92,13 +105,13 @@ class RankCtx {
     const double t0 = thread_cpu_seconds();
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
-      const double dt = thread_cpu_seconds() - t0;
+      const double dt = straggle(thread_cpu_seconds() - t0);
       vclock_ += dt;
       kernel_time_[kernel] += dt;
       trace_compute(kernel, dt);
     } else {
       decltype(auto) r = f();
-      const double dt = thread_cpu_seconds() - t0;
+      const double dt = straggle(thread_cpu_seconds() - t0);
       vclock_ += dt;
       kernel_time_[kernel] += dt;
       trace_compute(kernel, dt);
@@ -185,10 +198,27 @@ class RankCtx {
       trace_->span(name, obs::SpanCat::kCompute, vclock_ - dt, vclock_);
   }
 
+  /// Straggler fault: inflate measured CPU time by the plan's factor. The
+  /// factor is exactly 1.0 when no plan marks this rank, and x * 1.0 == x
+  /// for every finite double, so unfaulted clocks stay bit-identical.
+  double straggle(double dt) const { return dt * compute_factor_; }
+
+  /// Zero-length fault marker on this rank's virtual timeline.
+  void trace_fault(const char* name, std::uint64_t bytes = 0, int peer = -1) {
+    if (trace_)
+      trace_->span(name, obs::SpanCat::kFault, vclock_, vclock_, bytes, peer);
+  }
+
   SimWorld* world_;
   int rank_;
   double vclock_ = 0.0;
+  double compute_factor_ = 1.0;  // straggler CPU-time inflation
   std::map<std::string, double> kernel_time_;
+  // Per-destination send and per-rank collective sequence numbers: the keys
+  // of the deterministic fault-decision streams (only advanced when a fault
+  // plan is installed).
+  std::vector<std::uint64_t> p2p_seq_;
+  std::uint64_t coll_seq_ = 0;
   obs::CommCounters counters_;
   obs::RankTrace* trace_ = nullptr;  // null = tracing disabled
 };
@@ -204,6 +234,25 @@ class SimWorld {
  public:
   /// @pre nranks >= 1. The cost model is fixed for the world's lifetime.
   explicit SimWorld(int nranks, CostModel cm = {});
+  /// Construct from bundled options: cost model, tracing, and an optional
+  /// fault plan (install_faults is called when opts.faults.enabled()).
+  SimWorld(int nranks, const SimOptions& opts);
+
+  /// Install a deterministic fault plan for subsequent run()s. A disabled
+  /// plan (the default) uninstalls: every fault hook reduces to a single
+  /// null-pointer check and the virtual-clock arithmetic is bit-identical
+  /// to the fault-free runtime. Must be called between runs, not during one.
+  void install_faults(const sim::FaultPlan& plan) {
+    faults_ = plan;
+    fault_plan_ = faults_.enabled() ? &faults_ : nullptr;
+  }
+  /// Installed plan, or null when fault injection is off.
+  const sim::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// True when the last run() was torn down early by a rank's exception
+  /// (e.g. a detected payload corruption). Peers blocked in recv/collectives
+  /// are released and unwound without being recorded as errors themselves.
+  bool aborted() const { return comm_stats_.aborted; }
 
   /// Record per-rank compute/p2p/collective spans in virtual time during the
   /// next run(); retrieve them with trace(). Must be called before run().
@@ -242,6 +291,11 @@ class SimWorld {
     int tag;
     std::vector<std::byte> data;
     double arrival_vtime;  // sender's clock at send + transfer cost
+    // Fault-layer transport metadata (only meaningful when a plan is
+    // installed; zero-initialized otherwise).
+    std::uint64_t checksum = 0;  // FNV-1a of the payload *before* any flip
+    bool has_checksum = false;   // plan installed at send time
+    bool dup_copy = false;       // injected duplicate, discarded at receive
   };
   struct Mailbox {
     std::mutex mu;
@@ -262,11 +316,20 @@ class SimWorld {
     std::vector<std::vector<std::byte>> result;  // snapshot for readers
     double vt_out = 0.0;
     double cost_max = 0.0;
+    bool corrupt = false;         // flip injected into the current generation
+    bool result_corrupt = false;  // flip flag snapshot for the last result
   } coll_;
+
+  /// Tear the world down: mark aborted and wake every blocked rank so the
+  /// run can unwind instead of deadlocking on a dead peer.
+  void abort_run();
 
   int nranks_;
   CostModel cost_;
   bool tracing_ = false;
+  sim::FaultPlan faults_{};                    // storage for the installed plan
+  const sim::FaultPlan* fault_plan_ = nullptr; // null = fault layer off
+  std::atomic<bool> aborted_{false};
   double elapsed_virtual_ = 0.0;
   std::map<std::string, double> kernel_max_;
   obs::CommStats comm_stats_;

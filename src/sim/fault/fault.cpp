@@ -1,0 +1,154 @@
+#include "sim/fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace lra::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double parse_prob(const std::string& tok, const std::string& clause) {
+  char* end = nullptr;
+  const double p = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || !(p >= 0.0) || p > 1.0)
+    throw std::invalid_argument("fault spec: bad probability '" + tok +
+                                "' in clause '" + clause + "'");
+  return p;
+}
+
+double parse_factor(const std::string& tok, const std::string& clause) {
+  char* end = nullptr;
+  const double f = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || !(f >= 1.0))
+    throw std::invalid_argument("fault spec: factor '" + tok +
+                                "' must be >= 1 in clause '" + clause + "'");
+  return f;
+}
+
+// Split "P:F" into (P, F); factor defaults to `dflt` when absent.
+std::pair<std::string, std::string> split_colon(const std::string& v,
+                                                const std::string& dflt) {
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) return {v, dflt};
+  return {v.substr(0, colon), v.substr(colon + 1)};
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+FaultPlan parse_fault_spec(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string clause =
+        spec.substr(pos, semi == std::string::npos ? spec.size() - pos
+                                                   : semi - pos);
+    pos = semi == std::string::npos ? spec.size() : semi + 1;
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault spec: clause '" + clause +
+                                  "' has no '='");
+    const std::string key = clause.substr(0, eq);
+    const std::string val = clause.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      plan.seed = std::strtoull(val.c_str(), &end, 10);
+      if (end == val.c_str() || *end != '\0')
+        throw std::invalid_argument("fault spec: bad seed '" + val + "'");
+    } else if (key == "delay") {
+      const auto [p, f] = split_colon(val, "2");
+      plan.delay_prob = parse_prob(p, clause);
+      plan.delay_factor = parse_factor(f, clause);
+    } else if (key == "dup") {
+      plan.dup_prob = parse_prob(val, clause);
+    } else if (key == "flip") {
+      plan.flip_prob = parse_prob(val, clause);
+    } else if (key == "straggle") {
+      const auto colon = val.rfind(':');
+      if (colon == std::string::npos)
+        throw std::invalid_argument(
+            "fault spec: straggle needs 'ranks:factor', got '" + val + "'");
+      plan.straggle_factor = parse_factor(val.substr(colon + 1), clause);
+      std::string ranks = val.substr(0, colon);
+      std::size_t rp = 0;
+      while (rp < ranks.size()) {
+        const std::size_t comma = ranks.find(',', rp);
+        const std::string tok = ranks.substr(
+            rp, comma == std::string::npos ? ranks.size() - rp : comma - rp);
+        rp = comma == std::string::npos ? ranks.size() : comma + 1;
+        char* end = nullptr;
+        const long r = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || r < 0)
+          throw std::invalid_argument("fault spec: bad straggler rank '" +
+                                      tok + "'");
+        plan.straggler_ranks.push_back(static_cast<int>(r));
+      }
+      if (plan.straggler_ranks.empty())
+        throw std::invalid_argument(
+            "fault spec: straggle clause lists no ranks");
+    } else {
+      throw std::invalid_argument("fault spec: unknown clause '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string to_spec(const FaultPlan& plan) {
+  if (!plan.enabled()) return {};
+  std::string s = "seed=" + std::to_string(plan.seed);
+  if (plan.delay_prob > 0.0)
+    s += ";delay=" + format_double(plan.delay_prob) + ":" +
+         format_double(plan.delay_factor);
+  if (plan.dup_prob > 0.0) s += ";dup=" + format_double(plan.dup_prob);
+  if (plan.flip_prob > 0.0) s += ";flip=" + format_double(plan.flip_prob);
+  if (!plan.straggler_ranks.empty() && plan.straggle_factor != 1.0) {
+    s += ";straggle=";
+    for (std::size_t i = 0; i < plan.straggler_ranks.size(); ++i) {
+      if (i) s += ',';
+      s += std::to_string(plan.straggler_ranks[i]);
+    }
+    s += ":" + format_double(plan.straggle_factor);
+  }
+  return s;
+}
+
+std::uint64_t fault_hash(std::uint64_t seed, FaultStream stream,
+                         std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = splitmix64(seed ^ 0x6c62272e07bb0142ULL);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(stream));
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  return h;
+}
+
+double fault_uniform(std::uint64_t seed, FaultStream stream, std::uint64_t a,
+                     std::uint64_t b) {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(fault_hash(seed, stream, a, b) >> 11) *
+         0x1.0p-53;
+}
+
+std::uint64_t payload_checksum(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace lra::sim

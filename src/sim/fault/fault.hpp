@@ -1,0 +1,129 @@
+#pragma once
+// Deterministic fault-injection plans for the virtual-time runtime.
+//
+// A FaultPlan describes which communication and compute faults SimWorld
+// injects during a run: per-message delay inflation, duplicate delivery,
+// payload bit-flips, and straggler ranks whose virtual CPU time is inflated.
+// Every fault decision is a pure function of (plan seed, fault stream, edge,
+// per-edge sequence number), so a plan replays identically regardless of how
+// the rank threads are scheduled — the property the differential-oracle
+// harness and the JSON repro files depend on.
+//
+// Fault semantics (mirroring what a lossy interconnect under a reliable
+// transport can do):
+//   * delay    — the transfer cost of a message (or the modeled cost of a
+//                collective) is multiplied by `delay_factor`. Payloads are
+//                untouched, so solver decisions must not change; only the
+//                virtual clocks move.
+//   * dup      — a point-to-point message is enqueued twice; the transport
+//                discards the duplicate copy at the receiver and counts it
+//                (like TCP/MPI sequence-number dedup). Payloads delivered to
+//                the application are unchanged.
+//   * flip     — one payload bit is flipped in flight. The transport
+//                checksums every payload while a plan is installed, detects
+//                the corruption at the receiver, and raises CommFaultError —
+//                solvers surface it as Status::kCommFault, never a crash.
+//   * straggle — the listed ranks charge `straggle_factor` times their
+//                measured CPU time to the virtual clock (a slow node).
+//
+// With no plan installed the runtime takes none of these paths and the
+// virtual-clock arithmetic is bit-identical to the unfaulted build.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lra::sim {
+
+/// Raised by the SimWorld transport when an injected payload corruption is
+/// detected at a receiver (p2p checksum mismatch or a corrupted collective
+/// contribution). Distributed solvers catch it and report
+/// Status::kCommFault.
+class CommFaultError : public std::runtime_error {
+ public:
+  CommFaultError(const std::string& what, int src, int dst)
+      : std::runtime_error(what), src_(src), dst_(dst) {}
+  int src() const { return src_; }
+  int dst() const { return dst_; }
+
+ private:
+  int src_;
+  int dst_;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// With probability `delay_prob` per p2p message (and per collective call,
+  /// decided on the calling rank), multiply the modeled communication cost
+  /// by `delay_factor` (>= 1 keeps virtual time monotone vs. the clean run).
+  double delay_prob = 0.0;
+  double delay_factor = 1.0;
+
+  /// Probability that a p2p message is delivered twice.
+  double dup_prob = 0.0;
+
+  /// Probability that one bit of a payload flips in flight (p2p messages
+  /// and collective contributions).
+  double flip_prob = 0.0;
+
+  /// Ranks whose compute sections charge `straggle_factor` * CPU time.
+  std::vector<int> straggler_ranks;
+  double straggle_factor = 1.0;
+
+  /// True when installing this plan changes any runtime behaviour.
+  bool enabled() const {
+    return delay_prob > 0.0 || dup_prob > 0.0 || flip_prob > 0.0 ||
+           (!straggler_ranks.empty() && straggle_factor != 1.0);
+  }
+
+  /// Virtual-CPU-time multiplier for `rank` (1.0 for non-stragglers).
+  double compute_factor(int rank) const {
+    for (int r : straggler_ranks)
+      if (r == rank) return straggle_factor;
+    return 1.0;
+  }
+};
+
+/// Parse the --faults=SPEC grammar: semicolon-separated clauses
+///   seed=N            decision-stream seed (default 1)
+///   delay=P:F         delay probability P in [0,1], cost factor F >= 1
+///   dup=P             duplicate-delivery probability
+///   flip=P            payload bit-flip probability
+///   straggle=R1,..:F  straggler rank list and CPU-time factor F >= 1
+/// e.g. "seed=7;delay=0.3:8;dup=0.1;flip=0.02;straggle=0,2:4".
+/// Throws std::invalid_argument on malformed specs.
+FaultPlan parse_fault_spec(const std::string& spec);
+
+/// Canonical spec string for `plan`; parse_fault_spec(to_spec(p)) round
+/// trips. Empty string for a disabled plan.
+std::string to_spec(const FaultPlan& plan);
+
+// --- deterministic decision streams -----------------------------------------
+
+/// Independent decision streams derived from the plan seed.
+enum class FaultStream : std::uint64_t {
+  kDelay = 1,
+  kDup = 2,
+  kFlip = 3,
+  kCollDelay = 4,
+  kCollFlip = 5,
+  kBitIndex = 6,
+};
+
+/// Stateless 64-bit mix of (seed, stream, a, b) — SplitMix64 finalizer
+/// chain. Equal inputs give equal outputs on every platform.
+std::uint64_t fault_hash(std::uint64_t seed, FaultStream stream,
+                         std::uint64_t a, std::uint64_t b);
+
+/// Uniform double in [0, 1) from the same inputs.
+double fault_uniform(std::uint64_t seed, FaultStream stream, std::uint64_t a,
+                     std::uint64_t b);
+
+/// FNV-1a 64-bit checksum of a payload (the transport CRC stand-in used to
+/// detect injected bit-flips).
+std::uint64_t payload_checksum(const std::byte* data, std::size_t n);
+
+}  // namespace lra::sim

@@ -1,0 +1,113 @@
+#include "sim/shrink.hpp"
+
+#include <vector>
+
+namespace lra::sim {
+namespace {
+
+constexpr double kMinScale = 0.1;  // presets stay well-formed down to this
+
+/// Candidate simplifications of `c`, coarse moves first. Only moves that
+/// change the config are emitted.
+std::vector<ReproConfig> candidates(const ReproConfig& c) {
+  std::vector<ReproConfig> out;
+  auto push = [&](ReproConfig next) { out.push_back(std::move(next)); };
+
+  if (c.nranks > 1) {
+    ReproConfig n = c;
+    n.nranks = c.nranks / 2;
+    push(n);
+  }
+  if (c.block_size > 1) {
+    ReproConfig n = c;
+    n.block_size = c.block_size / 2;
+    push(n);
+  }
+  if (c.cost.alpha != 0.0 || c.cost.beta != 0.0) {
+    ReproConfig n = c;
+    n.cost.alpha = 0.0;
+    n.cost.beta = 0.0;
+    push(n);
+  }
+  if (c.scale / 2.0 >= kMinScale) {
+    ReproConfig n = c;
+    n.scale = c.scale / 2.0;
+    push(n);
+  }
+  if (c.matrix_seed != 1) {
+    ReproConfig n = c;
+    n.matrix_seed = 1;
+    push(n);
+  }
+  if (c.solver_seed != 1) {
+    ReproConfig n = c;
+    n.solver_seed = 1;
+    push(n);
+  }
+  if (c.power > 0) {
+    ReproConfig n = c;
+    n.power = 0;
+    push(n);
+  }
+  if (!c.faults.empty()) {
+    const FaultPlan plan = c.fault_plan();
+    auto push_plan = [&](FaultPlan p) {
+      ReproConfig n = c;
+      n.faults = to_spec(p);  // "" when the move disabled the plan entirely
+      if (n.faults != c.faults) push(n);
+    };
+    if (plan.dup_prob > 0.0) {
+      FaultPlan p = plan;
+      p.dup_prob = 0.0;
+      push_plan(p);
+    }
+    if (plan.delay_prob > 0.0) {
+      FaultPlan p = plan;
+      p.delay_prob = 0.0;
+      p.delay_factor = 1.0;
+      push_plan(p);
+    }
+    if (!plan.straggler_ranks.empty()) {
+      FaultPlan p = plan;
+      p.straggler_ranks.clear();
+      p.straggle_factor = 1.0;
+      push_plan(p);
+    }
+    if (plan.flip_prob > 0.0) {
+      FaultPlan p = plan;
+      p.flip_prob = 0.0;
+      push_plan(p);
+    }
+    if (plan.seed != 1) {
+      FaultPlan p = plan;
+      p.seed = 1;
+      push_plan(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_config(const ReproConfig& failing,
+                           const ReproPredicate& fails, int max_attempts) {
+  ShrinkResult res;
+  res.config = failing;
+  bool progressed = true;
+  while (progressed && res.attempts < max_attempts) {
+    progressed = false;
+    for (ReproConfig& cand : candidates(res.config)) {
+      if (res.attempts >= max_attempts) break;
+      ++res.attempts;
+      if (fails(cand)) {
+        res.config = std::move(cand);
+        ++res.accepted;
+        progressed = true;  // restart the scan from the simpler config
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace lra::sim

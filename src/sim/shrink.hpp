@@ -1,0 +1,38 @@
+#pragma once
+// Config shrinking for the property-test harness: given a failing
+// ReproConfig and a predicate that re-runs the failure, greedily search for
+// a simpler config that still fails, so the dumped repro file is minimal.
+//
+// The candidate moves are deterministic and ordered from coarse to fine:
+//   1. halve the rank count (towards 1);
+//   2. halve the block size (towards 1);
+//   3. zero the cost model (alpha = beta = 0);
+//   4. halve the matrix scale (towards a floor that keeps presets valid);
+//   5. pin the matrix and solver seeds to 1;
+//   6. drop fault clauses one kind at a time (dup, delay, straggle, flip)
+//      and pin the fault seed to 1.
+// Each accepted move restarts the scan, so the result is a local minimum of
+// this move set. The predicate is invoked at most `max_attempts` times;
+// shrinking is best-effort and never loops forever.
+
+#include <functional>
+
+#include "sim/repro.hpp"
+
+namespace lra::sim {
+
+/// Returns true when the config still reproduces the failure.
+using ReproPredicate = std::function<bool(const ReproConfig&)>;
+
+struct ShrinkResult {
+  ReproConfig config;  // simplest failing config found
+  int attempts = 0;    // predicate evaluations spent
+  int accepted = 0;    // candidate moves that kept the failure
+};
+
+/// @pre fails(failing) is true (the caller observed the failure); shrinking
+/// a passing config just returns it unchanged after one probe round.
+ShrinkResult shrink_config(const ReproConfig& failing,
+                           const ReproPredicate& fails, int max_attempts = 64);
+
+}  // namespace lra::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "core/lu_crtp_dist.hpp"
 #include "core/randqb_ei_dist.hpp"
 #include "core/randubv_dist.hpp"
@@ -30,6 +32,7 @@ TEST_P(Ranks, DistLuConvergesAndVerifies) {
   const double exact = lu_crtp_exact_error(a, d.result);
   EXPECT_LT(exact, o.tau * d.result.anorm_f);
   EXPECT_NEAR(d.result.indicator, exact, 1e-8 * d.result.anorm_f);
+  testing::ExpectHonestBound(a, d.result, o.tau, "dist lu_crtp");
 }
 
 TEST_P(Ranks, DistRandQbConvergesAndVerifies) {
@@ -42,6 +45,7 @@ TEST_P(Ranks, DistRandQbConvergesAndVerifies) {
   EXPECT_EQ(d.result.status, Status::kConverged);
   const double exact = randqb_exact_error(a, d.result);
   EXPECT_LT(exact, o.tau * d.result.anorm_f);
+  testing::ExpectHonestBound(a, d.result, o.tau, "dist randqb_ei");
   EXPECT_LT(testing::orthogonality_defect(d.result.q), 1e-9);
 }
 
@@ -67,6 +71,7 @@ TEST_P(Ranks, DistRandUbvConvergesAndVerifies) {
   const double exact = randubv_exact_error(a, d.result);
   EXPECT_LT(exact, o.tau * d.result.anorm_f * 1.01);
   EXPECT_NEAR(d.result.indicator, exact, 1e-6 * d.result.anorm_f);
+  testing::ExpectHonestBound(a, d.result, o.tau, "dist randubv");
   EXPECT_LT(testing::orthogonality_defect(d.result.u), 1e-9);
   EXPECT_LT(testing::orthogonality_defect(d.result.v), 1e-9);
 }
@@ -139,6 +144,62 @@ TEST(Dist, KernelTimersCoverDetKernels) {
     total += v;
   }
   EXPECT_GT(total, 0.0);
+}
+
+// --- fault plans through the public dist-solver API --------------------------
+
+TEST(DistFaults, FlipPlanSurfacesAsCommFaultStatusNotACrash) {
+  const CscMatrix a = test_matrix(200);
+  sim::FaultPlan plan;
+  plan.flip_prob = 1.0;
+  const SimOptions sim{CostModel{}, /*collect_trace=*/false, plan};
+
+  LuCrtpOptions lo;
+  lo.block_size = 16;
+  lo.tau = 1e-2;
+  const DistLuResult dl = lu_crtp_dist(a, lo, 4, sim);
+  EXPECT_EQ(dl.result.status, Status::kCommFault);
+  EXPECT_TRUE(dl.comm.aborted);
+  EXPECT_EQ(dl.comm.check_invariants(), "");
+  EXPECT_GT(dl.result.anorm_f, 0.0);  // partial metadata still filled
+
+  RandQbOptions qo;
+  qo.block_size = 16;
+  qo.tau = 1e-2;
+  const DistRandQbResult dq = randqb_ei_dist(a, qo, 4, sim);
+  EXPECT_EQ(dq.result.status, Status::kCommFault);
+  EXPECT_TRUE(dq.comm.aborted);
+
+  RandUbvOptions uo;
+  uo.block_size = 16;
+  uo.tau = 1e-2;
+  const DistRandUbvResult du = randubv_dist(a, uo, 4, sim);
+  EXPECT_EQ(du.result.status, Status::kCommFault);
+  EXPECT_TRUE(du.comm.aborted);
+}
+
+TEST(DistFaults, BenignPlanKeepsDecisionsBitIdentical) {
+  const CscMatrix a = test_matrix(200);
+  LuCrtpOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistLuResult clean = lu_crtp_dist(a, o, 4);
+
+  sim::FaultPlan plan;
+  plan.seed = 13;
+  plan.delay_prob = 0.6;
+  plan.delay_factor = 8.0;
+  plan.dup_prob = 0.4;
+  const DistLuResult faulted =
+      lu_crtp_dist(a, o, 4, SimOptions{CostModel{}, false, plan});
+  EXPECT_EQ(faulted.result.status, clean.result.status);
+  EXPECT_EQ(faulted.result.rank, clean.result.rank);
+  EXPECT_EQ(faulted.result.iterations, clean.result.iterations);
+  EXPECT_EQ(faulted.result.indicator, clean.result.indicator);
+  EXPECT_EQ(faulted.comm.check_invariants(), "");
+  std::uint64_t events = 0;
+  for (const auto& c : faulted.comm.per_rank) events += c.total_fault_events();
+  EXPECT_GT(events, 0u);
 }
 
 TEST(Dist, IterVsecondsMonotone) {

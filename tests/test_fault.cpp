@@ -1,0 +1,127 @@
+// Unit tests for the deterministic fault-injection plumbing (sim/fault):
+// spec grammar round trips, decision-stream determinism, and the payload
+// checksum that detects injected bit-flips.
+
+#include "sim/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace lra::sim {
+namespace {
+
+TEST(FaultSpec, ParsesEveryClause) {
+  const FaultPlan p =
+      parse_fault_spec("seed=7;delay=0.3:8;dup=0.1;flip=0.02;straggle=0,2:4");
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_DOUBLE_EQ(p.delay_prob, 0.3);
+  EXPECT_DOUBLE_EQ(p.delay_factor, 8.0);
+  EXPECT_DOUBLE_EQ(p.dup_prob, 0.1);
+  EXPECT_DOUBLE_EQ(p.flip_prob, 0.02);
+  EXPECT_EQ(p.straggler_ranks, (std::vector<int>{0, 2}));
+  EXPECT_DOUBLE_EQ(p.straggle_factor, 4.0);
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultSpec, DelayFactorDefaultsToTwo) {
+  const FaultPlan p = parse_fault_spec("delay=0.5");
+  EXPECT_DOUBLE_EQ(p.delay_prob, 0.5);
+  EXPECT_DOUBLE_EQ(p.delay_factor, 2.0);
+}
+
+TEST(FaultSpec, EmptySpecIsDisabledPlan) {
+  const FaultPlan p = parse_fault_spec("");
+  EXPECT_FALSE(p.enabled());
+  EXPECT_EQ(to_spec(p), "");
+}
+
+TEST(FaultSpec, RoundTripsThroughToSpec) {
+  const char* specs[] = {
+      "seed=7;delay=0.3:8;dup=0.1;flip=0.02;straggle=0,2:4",
+      "seed=1;dup=0.25",
+      "seed=42;flip=1",
+      "seed=3;straggle=1:16",
+  };
+  for (const char* s : specs) {
+    const FaultPlan p = parse_fault_spec(s);
+    const std::string canon = to_spec(p);
+    const FaultPlan q = parse_fault_spec(canon);
+    EXPECT_EQ(to_spec(q), canon) << "spec " << s;
+    EXPECT_EQ(q.seed, p.seed);
+    EXPECT_DOUBLE_EQ(q.delay_prob, p.delay_prob);
+    EXPECT_DOUBLE_EQ(q.delay_factor, p.delay_factor);
+    EXPECT_DOUBLE_EQ(q.dup_prob, p.dup_prob);
+    EXPECT_DOUBLE_EQ(q.flip_prob, p.flip_prob);
+    EXPECT_EQ(q.straggler_ranks, p.straggler_ranks);
+  }
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_spec("delay"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("dup=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("dup=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("dup=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("delay=0.5:0.5"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("straggle=4"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("straggle=:2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("straggle=-1:2"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_spec("seed=xyz"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, ComputeFactorSelectsStragglers) {
+  FaultPlan p;
+  p.straggler_ranks = {0, 3};
+  p.straggle_factor = 8.0;
+  EXPECT_DOUBLE_EQ(p.compute_factor(0), 8.0);
+  EXPECT_DOUBLE_EQ(p.compute_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.compute_factor(3), 8.0);
+  EXPECT_TRUE(p.enabled());
+  p.straggle_factor = 1.0;  // factor 1 is a no-op even with ranks listed
+  EXPECT_FALSE(p.enabled());
+}
+
+TEST(FaultStreams, HashIsDeterministicAndStreamSeparated) {
+  const std::uint64_t h1 = fault_hash(7, FaultStream::kDelay, 3, 11);
+  EXPECT_EQ(h1, fault_hash(7, FaultStream::kDelay, 3, 11));
+  // Different stream, seed, or coordinates give different decisions.
+  EXPECT_NE(h1, fault_hash(7, FaultStream::kDup, 3, 11));
+  EXPECT_NE(h1, fault_hash(8, FaultStream::kDelay, 3, 11));
+  EXPECT_NE(h1, fault_hash(7, FaultStream::kDelay, 4, 11));
+  EXPECT_NE(h1, fault_hash(7, FaultStream::kDelay, 3, 12));
+}
+
+TEST(FaultStreams, UniformStaysInUnitIntervalAndVaries) {
+  std::set<double> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = fault_uniform(5, FaultStream::kFlip, i, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    seen.insert(u);
+  }
+  EXPECT_GT(seen.size(), 990u);  // essentially no collisions
+}
+
+TEST(PayloadChecksum, DetectsEverySingleBitFlip) {
+  std::vector<std::byte> buf(24);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>(i * 37 + 1);
+  const std::uint64_t clean = payload_checksum(buf.data(), buf.size());
+  for (std::size_t bit = 0; bit < 8 * buf.size(); ++bit) {
+    buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_NE(payload_checksum(buf.data(), buf.size()), clean)
+        << "bit " << bit;
+    buf[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+  EXPECT_EQ(payload_checksum(buf.data(), buf.size()), clean);
+}
+
+TEST(PayloadChecksum, EmptyPayloadIsStable) {
+  EXPECT_EQ(payload_checksum(nullptr, 0), payload_checksum(nullptr, 0));
+}
+
+}  // namespace
+}  // namespace lra::sim

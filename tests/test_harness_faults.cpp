@@ -1,0 +1,72 @@
+// Fault-plan stages of the differential oracle (ctest -L harness): for every
+// solver, a benign plan (delay + dup + straggle) must leave the decision
+// stream bitwise identical to the clean distributed run, and a certain-flip
+// plan must surface as Status::kCommFault — a structured abort, never a
+// crash or a silently wrong factorization.
+
+#include <gtest/gtest.h>
+
+#include "sim/oracle.hpp"
+#include "sim/repro.hpp"
+
+namespace lra::sim {
+namespace {
+
+ReproConfig base_config(Method m) {
+  ReproConfig c;
+  c.method = m;
+  c.matrix = "M2";
+  c.scale = 0.25;
+  c.tau = 1e-2;
+  c.block_size = 8;
+  c.power = 1;
+  c.solver_seed = 0x5eed;
+  c.nranks = 4;
+  return c;
+}
+
+class FaultedSolvers : public ::testing::TestWithParam<Method> {};
+
+TEST_P(FaultedSolvers, BenignPlanIsDecisionInvisible) {
+  ReproConfig c = base_config(GetParam());
+  c.faults = "seed=3;delay=0.5:8;dup=0.3;straggle=0:4";
+  const OracleReport rep = run_differential_oracle(c);
+  EXPECT_TRUE(rep.pass) << summarize(rep);
+  ASSERT_TRUE(rep.ran_benign);
+  // The oracle already enforces bitwise equality; spot-check the key fields
+  // so a regression in the oracle itself cannot hide one in the runtime.
+  EXPECT_EQ(rep.benign.status, rep.clean.status);
+  EXPECT_EQ(rep.benign.rank, rep.clean.rank);
+  EXPECT_EQ(rep.benign.indicator, rep.clean.indicator);
+  EXPECT_GT(rep.benign.comm.total_fault_events(), 0u);
+}
+
+TEST_P(FaultedSolvers, CertainFlipSurfacesAsCommFault) {
+  ReproConfig c = base_config(GetParam());
+  c.faults = "seed=3;flip=1";
+  const OracleReport rep = run_differential_oracle(c);
+  EXPECT_TRUE(rep.pass) << summarize(rep);
+  ASSERT_TRUE(rep.ran_flip);
+  ASSERT_GT(rep.flips_injected, 0u);
+  EXPECT_EQ(rep.flip.status, Status::kCommFault);
+  EXPECT_TRUE(rep.flip.comm.aborted);
+  EXPECT_EQ(rep.flip.comm.check_invariants(), "");
+}
+
+TEST_P(FaultedSolvers, RareFlipPlanIsHandledEitherWay) {
+  // A low-probability flip plan: the oracle accepts either outcome — no
+  // injection (bitwise-equal to clean) or a detected corruption (kCommFault)
+  // — but nothing in between.
+  ReproConfig c = base_config(GetParam());
+  c.faults = "seed=11;delay=0.2:4;flip=0.01";
+  const OracleReport rep = run_differential_oracle(c);
+  EXPECT_TRUE(rep.pass) << summarize(rep);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSolvers, FaultedSolvers,
+                         ::testing::Values(Method::kRandQbEi, Method::kLuCrtp,
+                                           Method::kIlutCrtp,
+                                           Method::kRandUbv));
+
+}  // namespace
+}  // namespace lra::sim

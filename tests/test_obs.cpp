@@ -273,6 +273,8 @@ TEST(ReportTest, WritesOneObjectPerLine) {
   EXPECT_NE(lines[3].find("\"type\":\"comm\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"consistent\":true"), std::string::npos);
   EXPECT_NE(lines[3].find("\"total_bytes\":96"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"aborted\":false"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"fault_events\":0"), std::string::npos);
   std::remove(path.c_str());
 }
 

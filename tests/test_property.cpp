@@ -46,6 +46,7 @@ TEST_P(LuProperty, IndicatorIsExactErrorAndPermsValid) {
   EXPECT_TRUE(is_permutation(r.row_perm));
   EXPECT_TRUE(is_permutation(r.col_perm));
   EXPECT_NEAR(r.indicator, lu_crtp_exact_error(a, r), 1e-8 * r.anorm_f);
+  testing::ExpectHonestBound(a, r, o.tau, "lu_crtp grid");
 }
 
 TEST_P(LuProperty, IlutEstimatorWithinPerturbationBound) {
@@ -59,6 +60,7 @@ TEST_P(LuProperty, IlutEstimatorWithinPerturbationBound) {
   o.tau = 5e-2;
   const LuCrtpResult r = ilut_crtp(a, o);
   ASSERT_EQ(r.status, Status::kConverged);
+  testing::ExpectHonestBound(a, r, o.tau, "ilut_crtp grid");
   const double err = lu_crtp_exact_error(a, r);
   EXPECT_LE(std::abs(err - r.indicator),
             std::sqrt(r.t_norm_sq) + 1e-8 * r.anorm_f);
@@ -81,6 +83,7 @@ TEST_P(QbProperty, IndicatorTracksExactErrorEveryIteration) {
   o.seed = static_cast<std::uint64_t>(seed) * 7919;
   const RandQbResult r = randqb_ei(a, o);
   ASSERT_EQ(r.status, Status::kConverged);
+  testing::ExpectHonestBound(a, r, o.tau, "randqb_ei grid");
   EXPECT_NEAR(r.indicator, randqb_exact_error(a, r), 1e-7 * r.anorm_f);
   EXPECT_LT(r.orth_loss, 1e-10);
 }

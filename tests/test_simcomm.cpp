@@ -337,6 +337,189 @@ TEST(CommCountersTest, QueueDepthSeesBacklog) {
   EXPECT_GE(w.comm_stats().max_queue_depth(), 5u);
 }
 
+// --- deterministic fault injection (sim/fault) -------------------------------
+
+SimOptions with_plan(sim::FaultPlan p) {
+  SimOptions o;
+  o.faults = std::move(p);
+  return o;
+}
+
+std::uint64_t sum_vec(const std::vector<std::uint64_t>& v) {
+  std::uint64_t s = 0;
+  for (std::uint64_t x : v) s += x;
+  return s;
+}
+
+TEST(FaultInjection, NoPlanRecordsNoFaultEvents) {
+  SimWorld w(3);
+  w.run(mixed_workload);
+  EXPECT_EQ(w.comm_stats().total_fault_events(), 0u);
+  EXPECT_FALSE(w.aborted());
+}
+
+TEST(FaultInjection, DelayInflatesVirtualTimeNotPayloads) {
+  // A pure-communication ring: no compute() spans, so both runs advance their
+  // clocks by modeled costs only and the comparison is deterministic.
+  auto ring = [](RankCtx& ctx) {
+    const int p = ctx.size();
+    const int next = (ctx.rank() + 1) % p;
+    const int prev = (ctx.rank() + p - 1) % p;
+    ctx.send<double>(next, {1.5, 2.5});
+    const auto v = ctx.recv<double>(prev);
+    if (v.size() != 2 || v[0] != 1.5 || v[1] != 2.5)
+      throw std::runtime_error("payload changed under delay faults");
+  };
+  SimWorld clean(4);
+  clean.run(ring);
+
+  sim::FaultPlan p;
+  p.delay_prob = 1.0;
+  p.delay_factor = 16.0;
+  SimWorld faulted(4, with_plan(p));
+  faulted.run(ring);
+
+  EXPECT_GT(faulted.elapsed_virtual(), clean.elapsed_virtual());
+  const obs::CommStats& st = faulted.comm_stats();
+  EXPECT_EQ(st.check_invariants(), "");
+  EXPECT_FALSE(st.aborted);
+  std::uint64_t delayed = 0;
+  for (const auto& c : st.per_rank) delayed += sum_vec(c.msgs_delayed_to);
+  EXPECT_EQ(delayed, 4u);  // prob 1: every message delayed
+  // Delivered payload volume is untouched by delay faults.
+  EXPECT_EQ(st.total_bytes(), clean.comm_stats().total_bytes());
+}
+
+TEST(FaultInjection, DuplicatesAreDiscardedAndBalanced) {
+  sim::FaultPlan p;
+  p.dup_prob = 1.0;
+  SimWorld w(2, with_plan(p));
+  w.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<int>(1, {111}, /*tag=*/1);
+      ctx.send<int>(1, {222}, /*tag=*/2);
+    } else {
+      // Receiving tag 2 first forces the transport to scan past (and drop)
+      // the duplicate copy of the tag-1 message.
+      if (ctx.recv<int>(0, /*tag=*/2)[0] != 222)
+        throw std::runtime_error("dup fault corrupted a payload");
+      if (ctx.recv<int>(0, /*tag=*/1)[0] != 111)
+        throw std::runtime_error("dup fault corrupted a payload");
+    }
+  });
+  const obs::CommStats& st = w.comm_stats();
+  EXPECT_EQ(st.check_invariants(), "");
+  EXPECT_EQ(sum_vec(st.per_rank[0].msgs_duplicated_to), 2u);
+  // Every duplicate was discarded — by the receive scan or the post-join
+  // sweep of trailing copies — never delivered to the application.
+  EXPECT_EQ(sum_vec(st.per_rank[1].dups_dropped_from), 2u);
+  EXPECT_EQ(st.per_rank[1].msgs_recv_from[0], 2u);
+}
+
+TEST(FaultInjection, TrailingDuplicateCountedAsDropped) {
+  // One message, one matching recv: the duplicate copy is still in the
+  // mailbox when the ranks join, and run() must sweep it into the dropped
+  // count so duplicated == dropped holds for clean runs.
+  sim::FaultPlan p;
+  p.dup_prob = 1.0;
+  SimWorld w(2, with_plan(p));
+  w.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0)
+      ctx.send<int>(1, {42});
+    else
+      (void)ctx.recv<int>(0);
+  });
+  const obs::CommStats& st = w.comm_stats();
+  EXPECT_EQ(st.check_invariants(), "");
+  EXPECT_EQ(sum_vec(st.per_rank[0].msgs_duplicated_to), 1u);
+  EXPECT_EQ(sum_vec(st.per_rank[1].dups_dropped_from), 1u);
+}
+
+TEST(FaultInjection, FlipRaisesCommFaultAndAborts) {
+  sim::FaultPlan p;
+  p.flip_prob = 1.0;
+  SimWorld w(2, with_plan(p));
+  EXPECT_THROW(w.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0)
+      ctx.send<double>(1, {3.14});
+    else
+      (void)ctx.recv<double>(0);
+  }),
+               sim::CommFaultError);
+  EXPECT_TRUE(w.aborted());
+  const obs::CommStats& st = w.comm_stats();
+  EXPECT_TRUE(st.aborted);
+  EXPECT_EQ(st.check_invariants(), "");  // invariants are abort-aware
+  EXPECT_GE(sum_vec(st.per_rank[1].corrupt_detected_from), 1u);
+  EXPECT_GE(sum_vec(st.per_rank[0].msgs_corrupted_to), 1u);
+}
+
+TEST(FaultInjection, CollectiveFlipAbortsAllRanks) {
+  sim::FaultPlan p;
+  p.flip_prob = 1.0;
+  SimWorld w(4, with_plan(p));
+  EXPECT_THROW(
+      w.run([](RankCtx& ctx) { (void)ctx.allreduce_sum(1.0); }),
+      sim::CommFaultError);
+  EXPECT_TRUE(w.aborted());
+  const obs::CommStats& st = w.comm_stats();
+  EXPECT_EQ(st.check_invariants(), "");
+  std::uint64_t flips = 0;
+  for (const auto& c : st.per_rank) flips += c.coll_flip_faults;
+  EXPECT_GE(flips, 1u);
+}
+
+TEST(FaultInjection, DecisionsAreDeterministicAcrossRuns) {
+  // Fault decisions are pure functions of (seed, stream, edge, seq): two
+  // runs of the same workload under the same plan must agree on every fault
+  // counter and — since the workload never measures CPU time — on the
+  // virtual clock, bit for bit.
+  sim::FaultPlan p;
+  p.seed = 99;
+  p.delay_prob = 0.5;
+  p.delay_factor = 4.0;
+  p.dup_prob = 0.5;
+  SimWorld w1(3, with_plan(p));
+  w1.run(mixed_workload);
+  SimWorld w2(3, with_plan(p));
+  w2.run(mixed_workload);
+  const obs::CommStats& a = w1.comm_stats();
+  const obs::CommStats& b = w2.comm_stats();
+  ASSERT_EQ(a.per_rank.size(), b.per_rank.size());
+  for (std::size_t r = 0; r < a.per_rank.size(); ++r) {
+    EXPECT_EQ(a.per_rank[r].msgs_delayed_to, b.per_rank[r].msgs_delayed_to);
+    EXPECT_EQ(a.per_rank[r].msgs_duplicated_to,
+              b.per_rank[r].msgs_duplicated_to);
+    EXPECT_EQ(a.per_rank[r].dups_dropped_from, b.per_rank[r].dups_dropped_from);
+    EXPECT_EQ(a.per_rank[r].coll_delay_faults, b.per_rank[r].coll_delay_faults);
+  }
+  EXPECT_EQ(a.total_fault_events(), b.total_fault_events());
+  EXPECT_EQ(w1.elapsed_virtual(), w2.elapsed_virtual());
+  EXPECT_EQ(a.check_invariants(), "");
+}
+
+TEST(FaultInjection, StragglerInflatesComputeTime) {
+  // The straggler multiplies *measured* CPU time, which is noisy between
+  // runs — a 64x factor dwarfs any plausible scheduling noise.
+  auto spin = [](RankCtx& ctx) {
+    ctx.compute("spin", [] {
+      volatile double s = 0.0;
+      for (int i = 0; i < 2000000; ++i) s += std::sqrt(static_cast<double>(i));
+    });
+  };
+  SimWorld clean(1);
+  clean.run(spin);
+
+  sim::FaultPlan p;
+  p.straggler_ranks = {0};
+  p.straggle_factor = 64.0;
+  SimWorld faulted(1, with_plan(p));
+  faulted.run(spin);
+
+  EXPECT_GT(faulted.elapsed_virtual(), clean.elapsed_virtual());
+  EXPECT_EQ(faulted.comm_stats().check_invariants(), "");
+}
+
 TEST(CostModelTest, MonotoneInSizeAndRanks) {
   CostModel cm;
   EXPECT_GT(cm.p2p(1000), cm.p2p(10));

@@ -5,8 +5,13 @@
 
 #include <cmath>
 
+#include "core/lu_crtp.hpp"
+#include "core/randqb_ei.hpp"
+#include "core/randubv.hpp"
+#include "core/termination.hpp"
 #include "dense/blas.hpp"
 #include "dense/matrix.hpp"
+#include "sim/oracle.hpp"
 #include "sparse/csc.hpp"
 
 namespace lra::testing {
@@ -43,6 +48,39 @@ inline double orthogonality_defect(const Matrix& q) {
 /// Random dense matrix with controlled seed.
 inline Matrix random_matrix(Index m, Index n, std::uint64_t seed) {
   return Matrix::gaussian(m, n, seed);
+}
+
+/// Shared honesty assertion: a result that claims kConverged must have a
+/// dense exact error within sim::honest_error_bound of its own indicator.
+/// Non-converged results are exempt — honesty only constrains what the
+/// solver *claims*, and kConverged is the only claim.
+inline void ExpectHonestBound(Status status, double exact_error, double tau,
+                              double anorm_f, double indicator,
+                              const char* what = "") {
+  if (status != Status::kConverged) return;
+  EXPECT_LT(exact_error, sim::honest_error_bound(tau, anorm_f, indicator))
+      << what << " (tau " << tau << ", anorm_f " << anorm_f << ", indicator "
+      << indicator << ")";
+}
+
+/// Convenience overloads computing the dense exact error per solver.
+inline void ExpectHonestBound(const CscMatrix& a, const LuCrtpResult& r,
+                              double tau, const char* what = "") {
+  if (r.status == Status::kConverged)
+    ExpectHonestBound(r.status, lu_crtp_exact_error(a, r), tau, r.anorm_f,
+                      r.indicator, what);
+}
+inline void ExpectHonestBound(const CscMatrix& a, const RandQbResult& r,
+                              double tau, const char* what = "") {
+  if (r.status == Status::kConverged)
+    ExpectHonestBound(r.status, randqb_exact_error(a, r), tau, r.anorm_f,
+                      r.indicator, what);
+}
+inline void ExpectHonestBound(const CscMatrix& a, const RandUbvResult& r,
+                              double tau, const char* what = "") {
+  if (r.status == Status::kConverged)
+    ExpectHonestBound(r.status, randubv_exact_error(a, r), tau, r.anorm_f,
+                      r.indicator, what);
 }
 
 }  // namespace lra::testing

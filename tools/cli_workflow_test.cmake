@@ -37,6 +37,37 @@ if(nlines LESS 3)
   message(FATAL_ERROR "report.jsonl has only ${nlines} lines")
 endif()
 
+# Fault-injection path: a benign plan must converge and print the fault
+# summary line; a certain-flip plan must abort with a comm-fault status
+# (the CLI still exits 0 — the status is the result, not an error).
+execute_process(
+  COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --np=2
+          "--faults=seed=3;delay=0.5:8;dup=0.3"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "approx --faults (benign) failed (${rc}):\n${out}\n${err}")
+endif()
+string(FIND "${out}" "faults    : plan" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "benign fault run did not print the fault summary:\n${out}")
+endif()
+execute_process(
+  COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --np=2 --faults=flip=1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "approx --faults=flip=1 failed (${rc}):\n${out}\n${err}")
+endif()
+string(FIND "${out}" "comm-fault" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "flip=1 run did not report comm-fault:\n${out}")
+endif()
+
+# Repro path: a passing oracle config exits 0 via both spellings.
+set(repro ${WORK_DIR}/cli_test_repro.json)
+file(WRITE ${repro} "{\"matrix\": \"M1\", \"scale\": 0.25, \"method\": \"lu_crtp\", \"tau\": 0.01, \"block_size\": 8, \"nranks\": 2, \"faults\": \"seed=5;dup=0.4;flip=1\"}\n")
+run(${LRA_CLI} repro --file=${repro})
+run(${LRA_CLI} --repro=${repro})
+
 # --threads=0 must not be UB: the CLI warns on stderr and runs on 1 worker.
 execute_process(
   COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --threads=0 --out=${fact}
@@ -53,4 +84,4 @@ if(found EQUAL -1)
   message(FATAL_ERROR "--threads=0 did not report 1 worker; got:\n${out}")
 endif()
 
-file(REMOVE ${mtx} ${fact} ${trace} ${report})
+file(REMOVE ${mtx} ${fact} ${trace} ${report} ${repro})

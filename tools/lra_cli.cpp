@@ -7,12 +7,21 @@
 //   lra_cli approx --mtx=a.mtx [--method=auto|randqb|lu|ilut|ubv]
 //             [--tau=1e-3] [--k=32] [--out=fact.bin]
 //             [--np=N] [--trace=trace.json] [--report=report.jsonl]
+//             [--faults=SPEC]
 //       Fixed-precision approximation; optionally store the factors.
 //       --np runs the simulated-distributed engine on N virtual ranks;
 //       --trace writes a Chrome trace (chrome://tracing / Perfetto) of the
 //       virtual-time spans and implies --np (default 4); --report writes a
 //       JSONL run report (meta/iteration/comm/summary records) for either
-//       execution mode.
+//       execution mode; --faults installs a deterministic fault plan
+//       (grammar: seed=N;delay=P:F;dup=P;flip=P;straggle=R1,..:F — see
+//       EXPERIMENTS.md, HARNESS) and implies --np (default 4). Detected
+//       payload corruption reports status comm-fault, never a crash.
+//   lra_cli repro --file=case.json [--out=shrunk.json]
+//       Re-execute a differential-oracle repro file dumped by the harness
+//       (also spelled `lra_cli --repro=case.json`). Exit 0 when the oracle
+//       passes, 1 when the recorded failure reproduces; --out re-shrinks
+//       the config and writes the minimal failing variant.
 //
 //   Every subcommand accepts --threads=N to size the shared-memory kernel
 //   pool (default: LRA_NUM_THREADS or the hardware concurrency; 0 or
@@ -38,6 +47,10 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
+#include "sim/fault/fault.hpp"
+#include "sim/oracle.hpp"
+#include "sim/repro.hpp"
+#include "sim/shrink.hpp"
 #include "sparse/io_mm.hpp"
 #include "sparse/ops.hpp"
 #include "support/cli.hpp"
@@ -49,7 +62,7 @@ using namespace lra;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lra_cli <generate|info|approx|verify> [--flags]\n"
+               "usage: lra_cli <generate|info|approx|repro|verify> [--flags]\n"
                "see the header of tools/lra_cli.cpp for details\n");
   return 2;
 }
@@ -124,9 +137,15 @@ int cmd_approx(const Cli& cli) {
 
   const std::string trace_path = cli.get("trace", "");
   const std::string report_path = cli.get("report", "");
-  // Spans live on simulated ranks, so --trace implies the distributed path.
-  int np = static_cast<int>(cli.get_int("np", trace_path.empty() ? 0 : 4));
+  const std::string fault_spec = cli.get("faults", "");
+  // Spans and fault plans live on simulated ranks, so --trace and --faults
+  // imply the distributed path.
+  const bool needs_np = !trace_path.empty() || !fault_spec.empty();
+  int np = static_cast<int>(cli.get_int("np", needs_np ? 4 : 0));
   if (np < 0) np = 0;
+  SimOptions sim;
+  sim.faults = fault_spec.empty() ? sim::FaultPlan{}
+                                  : sim::parse_fault_spec(fault_spec);
 
   // Distributed runs resolve "auto" with the paper's parallel guidance
   // (deterministic methods at coarse-to-moderate tau), sequential runs with
@@ -153,7 +172,7 @@ int cmd_approx(const Cli& cli) {
   }
 
   if (np > 0) {
-    const bool want_trace = !trace_path.empty();
+    sim.collect_trace = !trace_path.empty();
     DistDigest g;
     switch (method) {
       case Method::kRandQbEi: {
@@ -163,7 +182,7 @@ int cmd_approx(const Cli& cli) {
         qo.power = o.power;
         qo.seed = o.seed;
         qo.max_rank = o.max_rank;
-        g = digest(randqb_ei_dist(a, qo, np, {}, want_trace));
+        g = digest(randqb_ei_dist(a, qo, np, sim));
         break;
       }
       case Method::kLuCrtp:
@@ -174,7 +193,7 @@ int cmd_approx(const Cli& cli) {
         lo.max_rank = o.max_rank;
         lo.colamd = o.colamd;
         if (method == Method::kIlutCrtp) lo.threshold = ThresholdMode::kIlut;
-        g = digest(lu_crtp_dist(a, lo, np, {}, want_trace));
+        g = digest(lu_crtp_dist(a, lo, np, sim));
         break;
       }
       case Method::kRandUbv: {
@@ -183,7 +202,7 @@ int cmd_approx(const Cli& cli) {
         uo.tau = o.tau;
         uo.seed = o.seed;
         uo.max_rank = o.max_rank;
-        g = digest(randubv_dist(a, uo, np, {}, want_trace));
+        g = digest(randubv_dist(a, uo, np, sim));
         break;
       }
       case Method::kAuto:
@@ -199,7 +218,12 @@ int cmd_approx(const Cli& cli) {
                 static_cast<unsigned long long>(g.comm.total_msgs()),
                 static_cast<unsigned long long>(g.comm.total_bytes()),
                 static_cast<unsigned long long>(g.comm.max_queue_depth()));
-    if (want_trace) {
+    if (sim.faults.enabled())
+      std::printf("faults    : plan \"%s\", %llu events%s\n",
+                  sim::to_spec(sim.faults).c_str(),
+                  static_cast<unsigned long long>(g.comm.total_fault_events()),
+                  g.comm.aborted ? ", run aborted" : "");
+    if (sim.collect_trace) {
       obs::write_chrome_trace_file(trace_path, g.trace);
       std::printf("trace     -> %s (%zu ranks)\n", trace_path.c_str(),
                   g.trace.size());
@@ -265,6 +289,35 @@ int cmd_approx(const Cli& cli) {
   return 0;
 }
 
+int run_repro_file(const std::string& path, const std::string& shrink_out) {
+  const sim::ReproConfig cfg = sim::load_repro_file(path);
+  std::printf("repro     : %s\n", path.c_str());
+  std::printf("config    : %s\n", sim::to_json(cfg).c_str());
+  const sim::OracleReport rep = sim::run_differential_oracle(cfg);
+  std::printf("oracle    : %s\n", sim::summarize(rep).c_str());
+  for (const std::string& f : rep.failures)
+    std::printf("  - %s\n", f.c_str());
+  if (!rep.pass && !shrink_out.empty()) {
+    const sim::ShrinkResult sh = sim::shrink_config(
+        cfg, [](const sim::ReproConfig& c) {
+          return !sim::run_differential_oracle(c).pass;
+        });
+    sim::save_repro_file(shrink_out, sh.config);
+    std::printf("shrunk    -> %s (%d/%d candidates accepted)\n",
+                shrink_out.c_str(), sh.accepted, sh.attempts);
+  }
+  return rep.pass ? 0 : 1;
+}
+
+int cmd_repro(const Cli& cli) {
+  const std::string path = cli.get("file", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "repro: missing --file=case.json\n");
+    return 2;
+  }
+  return run_repro_file(path, cli.get("out", ""));
+}
+
 int cmd_verify(const Cli& cli) {
   const CscMatrix a = read_matrix_market(cli.get("mtx", ""));
   const std::string path = cli.get("fact", "");
@@ -298,9 +351,15 @@ int main(int argc, char** argv) {
           lra::resolve_thread_count(cli.get_int("threads", 0), "--threads");
       lra::ThreadPool::global().set_num_threads(n);
     }
+    // `lra_cli --repro=case.json` is the one-invocation replay the harness
+    // prints on failure; it is sugar for `lra_cli repro --file=case.json`.
+    if (cmd.rfind("--repro=", 0) == 0)
+      return run_repro_file(cmd.substr(std::strlen("--repro=")),
+                            cli.get("out", ""));
     if (cmd == "generate") return cmd_generate(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "approx") return cmd_approx(cli);
+    if (cmd == "repro") return cmd_repro(cli);
     if (cmd == "verify") return cmd_verify(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
