@@ -1,109 +1,229 @@
-// Google-benchmark microbenchmarks of the computational kernels every
-// algorithm in this repo is built from. Useful for tracking regressions and
-// for sanity-checking the Section IV complexity model constants.
+// bench_kernels — self-timed microbenchmarks of the compute kernels, naive
+// vs blocked variant (support/kernel_variant.hpp), with a bitwise identity
+// gate.
+//
+// For each kernel (gemm_nn, gemm_tn, gemm_nt, spmm, spmm_t, dense_times_csc)
+// and each reference shape the harness runs both variants, takes the median
+// of --reps timed repetitions, and memcmp-compares the two outputs. It writes one
+// JSON document (default BENCH_kernels.json; see EXPERIMENTS.md for the
+// schema) with a record per (kernel, shape, variant): seconds, GFLOP/s, a
+// bytes-moved estimate, and the blocked row's speedup over the naive row.
+//
+//   ./bench_kernels [--threads=N] [--reps=5] [--quick]
+//                   [--out=BENCH_kernels.json]
+//
+// --quick shrinks the shapes for CI smoke runs. Exit status: 0 when every
+// blocked output is bitwise identical to its naive twin, 1 otherwise. The
+// perf numbers are informational (non-gating) — the identity check is the
+// only gate.
+//
+// Bytes-moved model (per variant): dense GEMM counts one read of each input
+// and a read+write of C. Sparse kernels count one pass over A's value+index
+// arrays per group of output columns (naive: one column per pass; blocked:
+// kSpmmNb columns per pass) plus one read of B and a read+write of C —
+// that amortized A-traffic is exactly what the column blocking buys.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "dense/blas.hpp"
-#include "dense/qr.hpp"
-#include "dense/qrcp.hpp"
-#include "dense/tsqr.hpp"
 #include "gen/givens_spray.hpp"
 #include "gen/spectrum.hpp"
-#include "qrtp/tournament.hpp"
-#include "sparse/colamd.hpp"
+#include "obs/json.hpp"
 #include "sparse/ops.hpp"
-#include "sparse/spgemm.hpp"
+#include "support/kernel_variant.hpp"
+#include "support/stopwatch.hpp"
 
 namespace {
 
 using namespace lra;
 
-CscMatrix bench_sparse(Index n, std::uint64_t seed = 5) {
+CscMatrix bench_sparse(Index n, int passes, Index bandwidth,
+                       std::uint64_t seed = 5) {
   return givens_spray(geometric_spectrum(n, 1.0, 0.99),
-                      {.left_passes = 2, .right_passes = 2, .bandwidth = 0,
-                       .seed = seed});
+                      {.left_passes = passes, .right_passes = passes,
+                       .bandwidth = bandwidth, .seed = seed});
 }
 
-void BM_Gemm(benchmark::State& state) {
-  const Index n = state.range(0);
-  const Matrix a = Matrix::gaussian(n, n, 1);
-  const Matrix b = Matrix::gaussian(n, n, 2);
-  Matrix c(n, n);
-  for (auto _ : state) {
-    gemm(c, a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+struct Row {
+  std::string kernel;
+  std::string shape;
+  std::string variant;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double bytes_moved = 0.0;
+  double speedup_vs_naive = 1.0;
+};
 
-void BM_HouseholderQr(benchmark::State& state) {
-  const Index m = state.range(0);
-  const Matrix a = Matrix::gaussian(m, 32, 3);
-  for (auto _ : state) {
-    HouseholderQR f(a);
-    benchmark::DoNotOptimize(f.packed().data());
+// Median-of-reps wall time of fn(), after one untimed warm-up call. The
+// median is robust to the frequency/steal spikes of shared machines, which
+// best-of-reps happily mistakes for kernel speed.
+template <typename Fn>
+double time_median(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch clock;
+    fn();
+    samples.push_back(clock.seconds());
   }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
-BENCHMARK(BM_HouseholderQr)->Arg(256)->Arg(1024)->Arg(4096);
 
-void BM_Qrcp(benchmark::State& state) {
-  const Index m = state.range(0);
-  const Matrix a = Matrix::gaussian(m, 64, 4);
-  for (auto _ : state) {
-    QRCP f(a, 32);
-    benchmark::DoNotOptimize(f.perm().data());
-  }
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         (x.size() == 0 ||
+          std::memcmp(x.data(), y.data(),
+                      static_cast<std::size_t>(x.size()) * sizeof(double)) == 0);
 }
-BENCHMARK(BM_Qrcp)->Arg(256)->Arg(1024)->Arg(4096);
 
-void BM_Tsqr(benchmark::State& state) {
-  const Matrix a = Matrix::gaussian(state.range(0), 32, 5);
-  for (auto _ : state) {
-    const TsqrResult f = tsqr(a, 128);
-    benchmark::DoNotOptimize(f.q.data());
-  }
-}
-BENCHMARK(BM_Tsqr)->Arg(1024)->Arg(4096);
+// Runs one kernel under both variants, appends two rows, and returns whether
+// the outputs matched bit for bit. `run` must overwrite `out` completely.
+template <typename Fn>
+bool bench_case(std::vector<Row>& rows, const std::string& kernel,
+                const std::string& shape, double flops,
+                double bytes_naive, double bytes_blocked, int reps,
+                Matrix& out, Fn&& run) {
+  Row naive{kernel, shape, "naive"};
+  Row blocked{kernel, shape, "blocked"};
 
-void BM_Spmm(benchmark::State& state) {
-  const CscMatrix a = bench_sparse(state.range(0));
-  const Matrix b = Matrix::gaussian(a.cols(), 32, 6);
-  for (auto _ : state) {
-    const Matrix c = spmm(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * a.nnz() * 32);
-}
-BENCHMARK(BM_Spmm)->Arg(512)->Arg(2048);
+  set_kernel_variant(KernelVariant::kNaive);
+  naive.seconds = time_median(reps, run);
+  Matrix ref = out;  // copy before the blocked variant overwrites it
 
-void BM_Spgemm(benchmark::State& state) {
-  const CscMatrix a = bench_sparse(state.range(0), 7);
-  const CscMatrix b = bench_sparse(state.range(0), 8);
-  for (auto _ : state) {
-    const CscMatrix c = spgemm(a, b);
-    benchmark::DoNotOptimize(c.nnz());
-  }
-}
-BENCHMARK(BM_Spgemm)->Arg(256)->Arg(1024);
+  set_kernel_variant(KernelVariant::kBlocked);
+  blocked.seconds = time_median(reps, run);
 
-void BM_TournamentSelect(benchmark::State& state) {
-  const CscMatrix a = bench_sparse(state.range(0), 9);
-  for (auto _ : state) {
-    const auto win = qr_tp_select(a, 16);
-    benchmark::DoNotOptimize(win.data());
-  }
+  const bool same = bitwise_equal(ref, out);
+  naive.gflops = flops / naive.seconds * 1e-9;
+  blocked.gflops = flops / blocked.seconds * 1e-9;
+  naive.bytes_moved = bytes_naive;
+  blocked.bytes_moved = bytes_blocked;
+  blocked.speedup_vs_naive = naive.seconds / blocked.seconds;
+  rows.push_back(naive);
+  rows.push_back(blocked);
+  std::printf("%-16s %-18s naive %8.2f GF/s  blocked %8.2f GF/s  x%.2f  %s\n",
+              kernel.c_str(), shape.c_str(), naive.gflops, blocked.gflops,
+              blocked.speedup_vs_naive, same ? "bits ok" : "BIT MISMATCH");
+  return same;
 }
-BENCHMARK(BM_TournamentSelect)->Arg(256)->Arg(1024);
 
-void BM_Colamd(benchmark::State& state) {
-  const CscMatrix a = bench_sparse(state.range(0), 10);
-  for (auto _ : state) {
-    const Perm p = colamd_order(a);
-    benchmark::DoNotOptimize(p.data());
-  }
+std::string shape3(Index m, Index k, Index n) {
+  return std::to_string(m) + "x" + std::to_string(k) + "x" + std::to_string(n);
 }
-BENCHMARK(BM_Colamd)->Arg(256)->Arg(1024);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lra;
+  const Cli cli(argc, argv);
+  const int threads = bench::configure_threads(cli);
+  const int reps = static_cast<int>(cli.get_int("reps", 5));
+  const bool quick = cli.has("quick");
+  const std::string out_path = cli.get("out", "BENCH_kernels.json");
+
+  bench::print_header("Kernel microbenchmarks: naive vs blocked variants",
+                      "perf companion to the Section IV complexity model");
+  std::printf("threads = %d, reps = %d%s\n\n", threads, reps,
+              quick ? " (--quick shapes)" : "");
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+
+  // Dense GEMM reference shapes. Gaussian inputs have no exact zeros, so the
+  // naive kernels' zero-skip never fires and blocked must match bitwise.
+  const std::vector<Index> gemm_sizes =
+      quick ? std::vector<Index>{128} : std::vector<Index>{256, 512};
+  for (const Index n : gemm_sizes) {
+    const Matrix a = Matrix::gaussian(n, n, 1);
+    const Matrix b = Matrix::gaussian(n, n, 2);
+    Matrix c(n, n);
+    const double flops = 2.0 * n * n * n;
+    const double bytes = 8.0 * (3.0 * n * n + n * n);  // A + B + C in/out
+
+    all_ok &= bench_case(rows, "gemm_nn", shape3(n, n, n), flops, bytes, bytes,
+                         reps, c, [&] { gemm(c, a, b); });
+    all_ok &= bench_case(rows, "gemm_tn", shape3(n, n, n), flops, bytes, bytes,
+                         reps, c,
+                         [&] { gemm(c, a, b, 1.0, 0.0, Trans::kYes); });
+    all_ok &= bench_case(
+        rows, "gemm_nt", shape3(n, n, n), flops, bytes, bytes, reps, c,
+        [&] { gemm(c, a, b, 1.0, 0.0, Trans::kNo, Trans::kYes); });
+  }
+
+  // Sparse kernels: an n x n givens spray, k dense columns. The blocked
+  // variants amortize the pass over A's value/index arrays across kSpmmNb
+  // output columns — reflected in the bytes-moved model below. The win
+  // appears once that stream outgrows the last-level cache, so the reference
+  // matrix is deliberately dense-ish and large (~26M nonzeros; override with
+  // --sparse-n / --passes / --bandwidth to probe other regimes).
+  const Index sn = cli.get_int("sparse-n", quick ? 512 : 8192);
+  const int passes = static_cast<int>(cli.get_int("passes", quick ? 2 : 6));
+  const Index bandwidth = cli.get_int("bandwidth", 0);
+  const Index sk = 32;
+  const CscMatrix s = bench_sparse(sn, passes, bandwidth);
+  std::printf("sparse A: %ld x %ld, %ld nnz\n", s.rows(), s.cols(), s.nnz());
+  const double apass = static_cast<double>(s.nnz()) * 16.0;  // values + idx
+  const double groups_naive = static_cast<double>(sk);
+  const double groups_blocked = (sk + 3) / 4;  // kSpmmNb = 4
+  const double dense_io = 8.0 * (3.0 * sn * sk);
+  const double sflops = 2.0 * static_cast<double>(s.nnz()) * sk;
+
+  {
+    const Matrix b = Matrix::gaussian(sn, sk, 6);
+    Matrix c;
+    all_ok &= bench_case(rows, "spmm", shape3(sn, sn, sk), sflops,
+                         apass * groups_naive + dense_io,
+                         apass * groups_blocked + dense_io, reps, c,
+                         [&] { spmm_into(c, s, b); });
+    all_ok &= bench_case(rows, "spmm_t", shape3(sn, sn, sk), sflops,
+                         apass * groups_naive + dense_io,
+                         apass * groups_blocked + dense_io, reps, c,
+                         [&] { spmm_t_into(c, s, b); });
+  }
+  {
+    const Matrix b = Matrix::gaussian(sk, sn, 7);
+    Matrix c;
+    // dense x CSC reads A once in both variants (row blocking improves
+    // locality, not traffic), so the two bytes figures coincide.
+    all_ok &= bench_case(rows, "dense_times_csc", shape3(sk, sn, sn), sflops,
+                         apass + dense_io, apass + dense_io, reps, c,
+                         [&] { dense_times_csc_into(c, b, s); });
+  }
+
+  // Emit BENCH_kernels.json.
+  std::string results = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    obs::JsonObj rec;
+    rec.field("kernel", r.kernel)
+        .field("shape", r.shape)
+        .field("variant", r.variant)
+        .field("seconds", r.seconds)
+        .field("gflops", r.gflops)
+        .field("bytes_moved", r.bytes_moved)
+        .field("speedup_vs_naive", r.speedup_vs_naive);
+    if (i) results += ',';
+    results += rec.str();
+  }
+  results += ']';
+  obs::JsonObj doc;
+  doc.field("schema", "bench_kernels/v1")
+      .field("threads", threads)
+      .field("reps", reps)
+      .field("quick", quick)
+      .field("identity_ok", all_ok)
+      .raw("results", results);
+  std::ofstream out(out_path);
+  out << doc.str() << '\n';
+  std::printf("\nwrote %s (%zu rows), identity %s\n", out_path.c_str(),
+              rows.size(), all_ok ? "ok" : "FAILED");
+  return all_ok ? 0 : 1;
+}

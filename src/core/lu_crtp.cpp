@@ -15,6 +15,7 @@
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
 #include "support/stopwatch.hpp"
+#include "support/workspace.hpp"
 
 namespace lra {
 namespace {
@@ -145,14 +146,17 @@ CscMatrix solve_a21(const CscMatrix& a21, const EquilibratedPivot& piv,
   std::vector<std::vector<double>> out_vals(static_cast<std::size_t>(nc));
   ThreadPool::global().parallel_ranges(
       Index{0}, nc, "lu_solve", /*grain=*/16, [&](Index c0, Index c1, int) {
-        std::vector<double> rhs(static_cast<std::size_t>(kk));
+        // Per-slice solve buffer from the worker's arena — reused across
+        // iterations of the outer factorization loop without heap traffic.
+        Workspace::Scope scope;
+        double* rhs = scope.doubles(static_cast<std::size_t>(kk));
         for (Index c = c0; c < c1; ++c) {
           if (a21t.col_nnz(c) == 0) continue;
-          std::fill(rhs.begin(), rhs.end(), 0.0);
+          std::fill(rhs, rhs + kk, 0.0);
           const auto rows = a21t.col_rows(c);
           const auto vals = a21t.col_values(c);
           for (std::size_t q = 0; q < rows.size(); ++q) rhs[rows[q]] = vals[q];
-          piv.lu.solve_row_inplace(rhs.data());
+          piv.lu.solve_row_inplace(rhs);
           for (Index r = 0; r < kk; ++r) {
             const double v = rhs[r] * piv.dinv[r];
             if (v != 0.0 && std::isfinite(v)) {
@@ -303,12 +307,13 @@ LuCrtpResult lu_crtp(const CscMatrix& a, const LuCrtpOptions& opts) {
       for (std::size_t p = 0; p < sp.rest_rows.size(); ++p)
         restpos[sp.rest_rows[p]] = static_cast<Index>(p);
       CooBuilder xb(s.rows() - kk, kk);
-      std::vector<double> rowbuf(static_cast<std::size_t>(kk));
+      Workspace::Scope scope;
+      double* rowbuf = scope.doubles(static_cast<std::size_t>(kk));
       for (std::size_t p = 0; p < live.size(); ++p) {
         const Index r = live[p];
         if (restpos[r] < 0) continue;  // selected row
         for (Index j = 0; j < kk; ++j) rowbuf[j] = q(static_cast<Index>(p), j);
-        luq.solve_row_inplace(rowbuf.data());
+        luq.solve_row_inplace(rowbuf);
         for (Index j = 0; j < kk; ++j)
           if (rowbuf[j] != 0.0) xb.add(restpos[r], j, rowbuf[j]);
       }

@@ -15,6 +15,7 @@
 #include "sparse/drop.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
+#include "support/workspace.hpp"
 
 namespace lra {
 namespace {
@@ -249,19 +250,22 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
         const CscMatrix a21t = a21.transposed();  // kk x (m_a - kk)
         std::vector<double> my_payload;            // [row, v0..v_{kk-1}]*
         ctx.compute("solve_a21", [&] {
-          std::vector<double> rhs(static_cast<std::size_t>(kk));
+          // Solve scratch from the rank thread's arena (reused across the
+          // factorization's iterations — no steady-state heap traffic).
+          Workspace::Scope scope;
+          double* rhs = scope.doubles(static_cast<std::size_t>(kk));
           Index counter = 0;
           for (Index c = 0; c < a21t.cols(); ++c) {
             if (a21t.col_nnz(c) == 0) continue;
             if (static_cast<int>(counter++ % p) != r) continue;
-            std::fill(rhs.begin(), rhs.end(), 0.0);
+            std::fill(rhs, rhs + kk, 0.0);
             const auto rows = a21t.col_rows(c);
             const auto vals = a21t.col_values(c);
             for (std::size_t t = 0; t < rows.size(); ++t) rhs[rows[t]] = vals[t];
-            lu11.solve_row_inplace(rhs.data());
+            lu11.solve_row_inplace(rhs);
             for (Index j = 0; j < kk; ++j) rhs[j] *= dinv[j];
             my_payload.push_back(static_cast<double>(c));
-            my_payload.insert(my_payload.end(), rhs.begin(), rhs.end());
+            my_payload.insert(my_payload.end(), rhs, rhs + kk);
           }
         });
         const std::vector<double> allx = ctx.allgatherv(my_payload);

@@ -47,6 +47,12 @@ RandQbResult randqb_ei(const CscMatrix& a, const RandQbOptions& opts) {
     // (The run proceeds; the status is set at exit.)
   }
 
+  // Loop-carried kernel buffers: the `_into` kernels reshape them in place,
+  // so after the first iteration the hot loop stops allocating (the arena
+  // high-water mark and these capacities both plateau — asserted in
+  // test_kernels_blocked).
+  Matrix y, z, w, bw, qtq, proj, bkt;
+
   while (res.rank < rank_budget) {
     const Index kk = std::min(k, rank_budget - res.rank);
     // Line 4: Gaussian test block (stream = iteration for reproducibility).
@@ -54,33 +60,40 @@ RandQbResult randqb_ei(const CscMatrix& a, const RandQbOptions& opts) {
         Matrix::gaussian(n, kk, opts.seed, static_cast<std::uint64_t>(res.iterations));
 
     // Line 5: Q_k = orth(A Omega - Q_K (B_K Omega)).
-    Matrix y = spmm(a, omega);
-    if (res.rank > 0) subtract_qm(y, res.q, matmul(res.b, omega));
+    spmm_into(y, a, omega);
+    if (res.rank > 0) {
+      matmul_into(bw, res.b, omega);
+      subtract_qm(y, res.q, bw);
+    }
     Matrix qk = orth(y);
 
     // Lines 6-9: power scheme.
     for (int r = 0; r < opts.power; ++r) {
-      Matrix z = spmm_t(a, qk);  // n x kk
+      spmm_t_into(z, a, qk);  // n x kk
       if (res.rank > 0) {
         // z -= B^T (Q^T qk)
-        const Matrix qtq = matmul_tn(res.q, qk);      // K x kk
+        matmul_tn_into(qtq, res.q, qk);  // K x kk
         gemm(z, res.b, qtq, -1.0, 1.0, Trans::kYes, Trans::kNo);
       }
       const Matrix qhat = orth(z);
-      Matrix w = spmm(a, qhat);  // m x kk
-      if (res.rank > 0) subtract_qm(w, res.q, matmul(res.b, qhat));
+      spmm_into(w, a, qhat);  // m x kk
+      if (res.rank > 0) {
+        matmul_into(bw, res.b, qhat);
+        subtract_qm(w, res.q, bw);
+      }
       qk = orth(w);
     }
 
     // Line 10: re-orthogonalization against the accumulated basis.
     if (res.rank > 0) {
-      const Matrix proj = matmul_tn(res.q, qk);  // K x kk
+      matmul_tn_into(proj, res.q, qk);  // K x kk
       gemm(qk, res.q, proj, -1.0, 1.0);
       qk = orth(qk);
     }
 
     // Line 11: B_k = Q_k^T A.
-    const Matrix bk = spmm_t(a, qk).transposed();  // kk x n
+    spmm_t_into(bkt, a, qk);            // n x kk
+    const Matrix bk = bkt.transposed();  // kk x n
 
     // Line 12: grow the factorization.
     res.q.append_cols(qk);

@@ -97,6 +97,10 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
     double indicator = anorm;
     Status status = Status::kMaxIterations;
 
+    // Loop-carried buffers for the two sketch products that are not moved
+    // into the TSQR (those must stay fresh); reshaped in place per iteration.
+    Matrix z_full, bkt_loc;
+
     while (rank_so_far < rank_budget) {
       const Index kk = std::min(k, rank_budget - rank_so_far);
 
@@ -133,7 +137,10 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
       // Power scheme.
       for (int p = 0; p < opts.power; ++p) {
         // z = A^T qk - B^T (Q^T qk), row-distributed by the column slices.
-        Matrix z_full = ctx.compute("power", [&] { return spmm_t(a_loc, qk_loc); });
+        ctx.compute("power", [&] {
+          spmm_t_into(z_full, a_loc, qk_loc);
+          return 0;
+        });
         {
           std::vector<double> flat(z_full.data(), z_full.data() + z_full.size());
           flat = ctx.allreduce_sum(std::move(flat));
@@ -203,7 +210,8 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
 
       // B_k = Q_k^T A : local partial over my rows, reduced; keep my columns.
       Matrix bk_partial = ctx.compute("b_update", [&] {
-        return spmm_t(a_loc, qk_loc).transposed();  // kk x n
+        spmm_t_into(bkt_loc, a_loc, qk_loc);
+        return bkt_loc.transposed();  // kk x n
       });
       {
         std::vector<double> flat(bk_partial.data(),

@@ -35,6 +35,10 @@ RandUbvResult randubv(const CscMatrix& a, const RandUbvOptions& opts) {
 
   double e = res.anorm_f * res.anorm_f;
 
+  // Loop-carried kernel buffers (reshaped in place by the `_into` kernels so
+  // steady-state iterations reuse the same allocations).
+  Matrix w, znext, proj;
+
   while (true) {
     res.v.append_cols(vj);
     res.u.append_cols(uj);
@@ -65,10 +69,10 @@ RandUbvResult randubv(const CscMatrix& a, const RandUbvOptions& opts) {
     if (res.rank + b > rank_budget) break;
 
     // W = A^T U_j - V_j L_j^T, reorthogonalized against all previous V.
-    Matrix w = spmm_t(a, uj);
+    spmm_t_into(w, a, uj);
     gemm(w, vj, lj, -1.0, 1.0, Trans::kNo, Trans::kYes);
     if (opts.full_reorth) {
-      const Matrix proj = matmul_tn(res.v, w);
+      matmul_tn_into(proj, res.v, w);
       gemm(w, res.v, proj, -1.0, 1.0);
     }
     HouseholderQR fw(w);
@@ -85,10 +89,10 @@ RandUbvResult randubv(const CscMatrix& a, const RandUbvOptions& opts) {
     }
 
     // Z = A V_{j+1} - U_j R_j^T, reorthogonalized against all previous U.
-    Matrix znext = spmm(a, vnext);
+    spmm_into(znext, a, vnext);
     gemm(znext, uj, rj, -1.0, 1.0, Trans::kNo, Trans::kYes);
     if (opts.full_reorth) {
-      const Matrix proj = matmul_tn(res.u, znext);
+      matmul_tn_into(proj, res.u, znext);
       gemm(znext, res.u, proj, -1.0, 1.0);
     }
     HouseholderQR fzn(znext);

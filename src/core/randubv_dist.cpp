@@ -140,6 +140,10 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
     double indicator = anorm;
     Status status = Status::kMaxIterations;
 
+    // Loop-carried buffer for the W = A^T U_j partial (the only per-iteration
+    // sketch product here that is not moved into a TSQR).
+    Matrix w_partial;
+
     for (;;) {
       ctx.compute("b_update", [&] {
         v_loc.append_cols(vj_loc);
@@ -161,8 +165,10 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
       if (rank_so_far + b > rank_budget) break;
 
       // W = A^T U_j - V_j L_j^T (row-distributed over n), full reorth.
-      Matrix w_partial =
-          ctx.compute("spmm", [&] { return spmm_t(a_loc, uj_loc); });
+      ctx.compute("spmm", [&] {
+        spmm_t_into(w_partial, a_loc, uj_loc);
+        return 0;
+      });
       allreduce_inplace(ctx, w_partial);
       Matrix w_loc = ctx.compute("spmm", [&] {
         Matrix w = w_partial.block(cs.begin, 0, cs.size(), b);

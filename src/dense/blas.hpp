@@ -1,13 +1,33 @@
 #pragma once
 // BLAS-like dense kernels on column-major Matrix. Hand-written (no external
-// BLAS in this environment); the GEMM uses a cache-blocked j-k-i loop order
-// whose inner loop is a contiguous axpy the compiler vectorizes.
+// BLAS in this environment). Two GEMM implementations are compiled:
+//
+//   * naive   — the seed kernels: cache-blocked j-k-i rank-1 updates whose
+//               inner loop is a contiguous axpy.
+//   * blocked — packed and register-tiled: each (kGemmMc x kGemmKc) A-panel
+//               is packed once into per-thread workspace scratch, and a
+//               kGemmMr x kGemmNr register tile accumulates with sequential
+//               k innermost.
+//
+// support/kernel_variant.hpp selects between them at runtime. Both variants
+// tile only over output rows/columns and never split a k reduction, so each
+// output element accumulates its k terms in the same ascending order; for
+// inputs free of exact zeros and non-finite values they produce
+// bitwise-identical results at any thread count (see ARCHITECTURE.md,
+// "Kernel layer").
 
 #include "dense/matrix.hpp"
 
 namespace lra {
 
 enum class Trans { kNo, kYes };
+
+/// Blocked-GEMM tile geometry, exported so the identity tests can target
+/// remainder-heavy shapes around the tile edges.
+inline constexpr Index kGemmMc = 128;  ///< rows per packed A-panel
+inline constexpr Index kGemmKc = 256;  ///< k-slab depth per packed A-panel
+inline constexpr Index kGemmMr = 8;    ///< register-tile rows
+inline constexpr Index kGemmNr = 4;    ///< register-tile columns
 
 /// C = alpha * op(A) * op(B) + beta * C. Shapes must conform; C must already
 /// have the result shape.
@@ -18,6 +38,14 @@ void gemm(Matrix& c, const Matrix& a, const Matrix& b, double alpha = 1.0,
 Matrix matmul(const Matrix& a, const Matrix& b);      // A * B
 Matrix matmul_tn(const Matrix& a, const Matrix& b);   // A^T * B
 Matrix matmul_nt(const Matrix& a, const Matrix& b);   // A * B^T
+
+/// In-place product wrappers: reshape `c` to the result shape (reusing its
+/// allocation when it is already large enough) and overwrite it with the
+/// product. The solver hot loops call these with loop-carried buffers so
+/// steady-state iterations do not touch the heap.
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b);     // C = A*B
+void matmul_tn_into(Matrix& c, const Matrix& a, const Matrix& b);  // C = A^T*B
+void matmul_nt_into(Matrix& c, const Matrix& a, const Matrix& b);  // C = A*B^T
 
 /// y = alpha * op(A) * x + beta * y (x, y are n x 1 / m x 1 matrices stored
 /// as raw vectors).

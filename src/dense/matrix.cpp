@@ -28,6 +28,13 @@ Matrix Matrix::gaussian(Index rows, Index cols, std::uint64_t seed,
   return a;
 }
 
+void Matrix::reshape(Index rows, Index cols) {
+  assert(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<std::size_t>(rows * cols));
+}
+
 Matrix Matrix::block(Index r0, Index c0, Index nr, Index nc) const {
   assert(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
   Matrix b(nr, nc);

@@ -39,6 +39,13 @@ class Matrix {
   double* data() noexcept { return data_.data(); }
   const double* data() const noexcept { return data_.data(); }
 
+  /// Re-shape to rows x cols, reusing the existing allocation when it is
+  /// large enough (capacity is never released). Contents are unspecified
+  /// afterwards; the `_into` kernel wrappers overwrite every element. This is
+  /// what lets solver loops carry one buffer across iterations instead of
+  /// reallocating.
+  void reshape(Index rows, Index cols);
+
   /// Copy of the block A(r0 : r0+nr, c0 : c0+nc)  (half-open sizes).
   Matrix block(Index r0, Index c0, Index nr, Index nc) const;
   /// Write `b` into this matrix at offset (r0, c0).

@@ -79,4 +79,15 @@ void write_pool_stats(ReportWriter& w,
   }
 }
 
+void write_workspace_stats(ReportWriter& w, const WorkspaceStats& stats) {
+  JsonObj o;
+  o.field("type", "workspace")
+      .field("arenas", static_cast<long long>(stats.arenas))
+      .field("capacity_bytes", static_cast<long long>(stats.capacity))
+      .field("high_water_bytes", static_cast<long long>(stats.high_water))
+      .field("allocs", static_cast<long long>(stats.allocs))
+      .field("grows", static_cast<long long>(stats.grows));
+  w.write(o);
+}
+
 }  // namespace lra::obs

@@ -9,6 +9,9 @@
 //   pool_kernel — one per thread-pool kernel label: calls, wall seconds,
 //                 worker count (sequential engine only; simulated ranks
 //                 never fork onto the pool)
+//   workspace   — one per run: aggregated per-thread arena counters
+//                 (capacity, high-water mark, allocation/grow counts) — the
+//                 zero-allocation witness of the kernel hot loops
 //   summary     — one per run: status, final rank/indicator, total seconds
 
 #include <fstream>
@@ -19,6 +22,7 @@
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "par/pool.hpp"
+#include "support/workspace.hpp"
 
 namespace lra::obs {
 
@@ -47,5 +51,9 @@ void write_comm_stats(ReportWriter& w, const CommStats& stats);
 /// One "pool_kernel" record per label from ThreadPool::kernel_stats().
 void write_pool_stats(ReportWriter& w,
                       const std::map<std::string, PoolKernelStat>& stats);
+
+/// One "workspace" record from Workspace::aggregate(): totals over every
+/// per-thread scratch arena (live and retired).
+void write_workspace_stats(ReportWriter& w, const WorkspaceStats& stats);
 
 }  // namespace lra::obs

@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/stopwatch.hpp"
+#include "support/workspace.hpp"
 
 namespace lra {
 namespace {
@@ -106,8 +108,13 @@ void ThreadPool::start_workers(int n) {
   const std::uint64_t epoch_now = impl_->epoch;
   impl_->helpers.reserve(static_cast<std::size_t>(n - 1));
   for (int w = 1; w < n; ++w)
-    impl_->helpers.emplace_back(
-        [this, w, epoch_now] { impl_->helper_loop(w, epoch_now); });
+    impl_->helpers.emplace_back([this, w, epoch_now] {
+      // Label the worker's thread_local scratch arena so per-arena workspace
+      // stats are attributable; a set_num_threads() teardown folds the old
+      // workers' counters into the retired tally (workspace.cpp).
+      Workspace::name_current_thread("worker-" + std::to_string(w));
+      impl_->helper_loop(w, epoch_now);
+    });
 }
 
 void ThreadPool::stop_workers() {

@@ -31,6 +31,12 @@
 // --threads=N flag), the LRA_NUM_THREADS environment variable, and
 // std::thread::hardware_concurrency(). A requested count of 0 or less falls
 // back to 1 worker with a warning on stderr (never UB).
+//
+// Workers are long-lived threads, so each one carries a persistent
+// thread_local workspace arena (support/workspace.hpp) that the blocked
+// kernels use for packing scratch; the pool labels the arenas "worker-N" at
+// startup, and set_num_threads() folds torn-down workers' arena counters
+// into the retired workspace tally.
 
 #include <cstdint>
 #include <functional>

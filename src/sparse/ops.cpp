@@ -1,11 +1,14 @@
 #include "sparse/ops.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
 
 #include "dense/blas.hpp"
 #include "par/pool.hpp"
+#include "support/kernel_variant.hpp"
+#include "support/workspace.hpp"
 
 namespace lra {
 namespace {
@@ -14,11 +17,159 @@ namespace {
 // many nnz-times-columns multiply-adds the fork-join overhead dominates.
 constexpr Index kForkWork = Index{1} << 15;
 
-}  // namespace
+// Column-block width of the blocked SpMM family: kSpmmNb output columns share
+// one pass over A's index/value arrays, cutting index traffic NB-fold.
+constexpr Index kSpmmNb = 4;
 
-void spmv(const CscMatrix& a, const double* x, double* y) {
-  for (Index i = 0; i < a.rows(); ++i) y[i] = 0.0;
+// Row-block depth of the blocked dense x CSC kernel: keeps a slice of the
+// output column resident in L1 across the whole scatter over A's nonzeros.
+constexpr Index kDtcIb = 256;
+
+// The parallel spmv reduces over a fixed chunk grid whose geometry depends
+// only on the matrix shape — never on the worker count — and combines the
+// per-chunk partial vectors serially in chunk order, so the bits are
+// identical at any thread count (though reassociated relative to the
+// historical serial loop, like residual_fro).
+constexpr Index kSpmvMaxChunks = 16;
+
+void zero_fill(Matrix& c) {
+  std::fill(c.data(), c.data() + c.size(), 0.0);
+}
+
+// ---- spmm: C = A * B ------------------------------------------------------
+
+// One output column, seed loop: scan A once, scatter-accumulate into cc.
+void spmm_col_naive(const CscMatrix& a, const double* bc, double* cc) {
   for (Index j = 0; j < a.cols(); ++j) {
+    const double w = bc[j];
+    if (w == 0.0) continue;
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) cc[rows[p]] += vals[p] * w;
+  }
+}
+
+// kSpmmNb output columns in one pass over A. Each output column still
+// accumulates its terms in ascending (j, p) order with the same zero-skip as
+// the naive loop, so the result is bitwise identical to naive on any input.
+void spmm_quad_blocked(const CscMatrix& a, const Matrix& b, Matrix& c,
+                       Index c0) {
+  const double* b0 = b.col(c0);
+  const double* b1 = b.col(c0 + 1);
+  const double* b2 = b.col(c0 + 2);
+  const double* b3 = b.col(c0 + 3);
+  double* cc0 = c.col(c0);
+  double* cc1 = c.col(c0 + 1);
+  double* cc2 = c.col(c0 + 2);
+  double* cc3 = c.col(c0 + 3);
+  for (Index j = 0; j < a.cols(); ++j) {
+    const double w0 = b0[j], w1 = b1[j], w2 = b2[j], w3 = b3[j];
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    if (w0 != 0.0 && w1 != 0.0 && w2 != 0.0 && w3 != 0.0) {
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        const Index r = rows[p];
+        const double v = vals[p];
+        cc0[r] += v * w0;
+        cc1[r] += v * w1;
+        cc2[r] += v * w2;
+        cc3[r] += v * w3;
+      }
+    } else {
+      // Rare (a zero in dense B): fall back per column, preserving the
+      // naive kernel's skip exactly.
+      const double ws[kSpmmNb] = {w0, w1, w2, w3};
+      double* ccs[kSpmmNb] = {cc0, cc1, cc2, cc3};
+      for (Index q = 0; q < kSpmmNb; ++q) {
+        const double w = ws[q];
+        if (w == 0.0) continue;
+        double* cc = ccs[q];
+        for (std::size_t p = 0; p < rows.size(); ++p)
+          cc[rows[p]] += vals[p] * w;
+      }
+    }
+  }
+}
+
+// ---- spmm_t: C = A^T * B --------------------------------------------------
+
+void spmm_t_col_naive(const CscMatrix& a, const double* bc, double* cc) {
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    double s = 0.0;
+    for (std::size_t p = 0; p < rows.size(); ++p) s += vals[p] * bc[rows[p]];
+    cc[j] = s;
+  }
+}
+
+// kSpmmNb dot products per pass over each A column; each accumulator runs
+// ascending p from 0.0 exactly like the naive loop (no skip exists here), so
+// this path is bitwise identical to naive on every input.
+void spmm_t_quad_blocked(const CscMatrix& a, const Matrix& b, Matrix& c,
+                         Index c0) {
+  const double* b0 = b.col(c0);
+  const double* b1 = b.col(c0 + 1);
+  const double* b2 = b.col(c0 + 2);
+  const double* b3 = b.col(c0 + 3);
+  double* cc0 = c.col(c0);
+  double* cc1 = c.col(c0 + 1);
+  double* cc2 = c.col(c0 + 2);
+  double* cc3 = c.col(c0 + 3);
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const Index r = rows[p];
+      const double v = vals[p];
+      s0 += v * b0[r];
+      s1 += v * b1[r];
+      s2 += v * b2[r];
+      s3 += v * b3[r];
+    }
+    cc0[j] = s0;
+    cc1[j] = s1;
+    cc2[j] = s2;
+    cc3[j] = s3;
+  }
+}
+
+// ---- dense_times_csc: C = B * A -------------------------------------------
+
+void dtc_col_naive(const Matrix& b, const CscMatrix& a, Index j, double* cj) {
+  const auto rows = a.col_rows(j);
+  const auto vals = a.col_values(j);
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const double w = vals[p];
+    const double* bk = b.col(rows[p]);
+    for (Index i = 0; i < b.rows(); ++i) cj[i] += w * bk[i];
+  }
+}
+
+// Row-blocked: the (j, p) scatter order per output element is unchanged —
+// only the i sweep is sliced so cj[i0:i1) stays in L1 while every nonzero of
+// A's column is applied. Bitwise identical to naive on every input. (Column
+// blocking buys nothing here: adjacent output columns read disjoint nonzeros
+// of A, so rows are the reuse dimension.)
+void dtc_col_blocked(const Matrix& b, const CscMatrix& a, Index j, double* cj) {
+  const auto rows = a.col_rows(j);
+  const auto vals = a.col_values(j);
+  const Index m = b.rows();
+  for (Index i0 = 0; i0 < m; i0 += kDtcIb) {
+    const Index i1 = std::min(i0 + kDtcIb, m);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const double w = vals[p];
+      const double* bk = b.col(rows[p]);
+      for (Index i = i0; i < i1; ++i) cj[i] += w * bk[i];
+    }
+  }
+}
+
+// Accumulate y[j0:j1)'s contribution of A's columns into y (no zeroing).
+void spmv_cols_accum(const CscMatrix& a, const double* x, double* y, Index j0,
+                     Index j1) {
+  for (Index j = j0; j < j1; ++j) {
     const double xj = x[j];
     if (xj == 0.0) continue;
     const auto rows = a.col_rows(j);
@@ -27,84 +178,156 @@ void spmv(const CscMatrix& a, const double* x, double* y) {
   }
 }
 
-void spmv_t(const CscMatrix& a, const double* x, double* y) {
-  for (Index j = 0; j < a.cols(); ++j) {
-    const auto rows = a.col_rows(j);
-    const auto vals = a.col_values(j);
-    double s = 0.0;
-    for (std::size_t p = 0; p < rows.size(); ++p) s += vals[p] * x[rows[p]];
-    y[j] = s;
+}  // namespace
+
+void spmv(const CscMatrix& a, const double* x, double* y) {
+  const Index m = a.rows(), n = a.cols();
+  for (Index i = 0; i < m; ++i) y[i] = 0.0;
+  if (a.nnz() < kForkWork || n < 2) {
+    // Small input: the seed serial loop, bit-for-bit.
+    spmv_cols_accum(a, x, y, 0, n);
+    return;
+  }
+  // Fixed chunk grid (pure function of n): each chunk accumulates its columns
+  // into a private partial vector; partials are folded into y serially in
+  // chunk order. Thread-count independent by construction.
+  const Index chunk = (n + kSpmvMaxChunks - 1) / kSpmvMaxChunks;
+  const Index nchunks = (n + chunk - 1) / chunk;
+  Workspace::Scope scope;
+  double* partial =
+      scope.zeroed_doubles(static_cast<std::size_t>(nchunks) * m);
+  ThreadPool::global().parallel_for(
+      Index{0}, nchunks, "spmv",
+      [&](Index ch) {
+        spmv_cols_accum(a, x, partial + ch * m, ch * chunk,
+                        std::min((ch + 1) * chunk, n));
+      },
+      Index{1});
+  for (Index ch = 0; ch < nchunks; ++ch) {
+    const double* pc = partial + ch * m;
+    for (Index i = 0; i < m; ++i) y[i] += pc[i];
   }
 }
 
-Matrix spmm(const CscMatrix& a, const Matrix& b) {
+void spmv_t(const CscMatrix& a, const double* x, double* y) {
+  // Output elements are independent dot products accumulated in the seed
+  // order — parallel over j, bitwise identical to the serial loop.
+  const Index grain = a.nnz() < kForkWork ? a.cols() + 1 : 1;
+  ThreadPool::global().parallel_for(
+      Index{0}, a.cols(), "spmv_t",
+      [&](Index j) {
+        const auto rows = a.col_rows(j);
+        const auto vals = a.col_values(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < rows.size(); ++p)
+          s += vals[p] * x[rows[p]];
+        y[j] = s;
+      },
+      grain);
+}
+
+void spmm_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
+  c.reshape(a.rows(), b.cols());
+  zero_fill(c);
+  const Index n = b.cols();
   // Output columns are independent (each one scans A against a single column
   // of B), and within a column the accumulation runs over A's columns in
   // ascending order exactly like the serial loop — any thread count yields
   // the same bits.
-  const Index grain = a.nnz() * b.cols() < kForkWork ? b.cols() + 1 : 1;
+  if (kernel_variant() == KernelVariant::kNaive) {
+    const Index grain = a.nnz() * n < kForkWork ? n + 1 : 1;
+    ThreadPool::global().parallel_for(
+        Index{0}, n, "spmm",
+        [&](Index col) { spmm_col_naive(a, b.col(col), c.col(col)); }, grain);
+    return;
+  }
+  // Blocked: parallel over a fixed grid of kSpmmNb-column blocks (grid
+  // geometry independent of the worker count); per-column math identical to
+  // the naive loop, so blocked == naive bitwise on every input.
+  const Index nblocks = (n + kSpmmNb - 1) / kSpmmNb;
+  const Index grain = a.nnz() * n < kForkWork ? nblocks + 1 : 1;
   ThreadPool::global().parallel_for(
-      Index{0}, b.cols(), "spmm",
-      [&](Index col) {
-        const double* bc = b.col(col);
-        double* cc = c.col(col);
-        for (Index j = 0; j < a.cols(); ++j) {
-          const double w = bc[j];
-          if (w == 0.0) continue;
-          const auto rows = a.col_rows(j);
-          const auto vals = a.col_values(j);
-          for (std::size_t p = 0; p < rows.size(); ++p)
-            cc[rows[p]] += vals[p] * w;
+      Index{0}, nblocks, "spmm",
+      [&](Index blk) {
+        const Index c0 = blk * kSpmmNb;
+        const Index c1 = std::min(c0 + kSpmmNb, n);
+        if (c1 - c0 == kSpmmNb) {
+          spmm_quad_blocked(a, b, c, c0);
+        } else {
+          for (Index col = c0; col < c1; ++col)
+            spmm_col_naive(a, b.col(col), c.col(col));
         }
       },
       grain);
+}
+
+Matrix spmm(const CscMatrix& a, const Matrix& b) {
+  Matrix c;
+  spmm_into(c, a, b);
   return c;
+}
+
+void spmm_t_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  c.reshape(a.cols(), b.cols());
+  const Index n = b.cols();
+  // Each output column depends on one column of b only: embarrassingly
+  // parallel with bitwise-identical results per column. Every element is
+  // overwritten, so no zero fill is needed.
+  if (kernel_variant() == KernelVariant::kNaive) {
+    const Index grain = a.nnz() * n < kForkWork ? n + 1 : 1;
+    ThreadPool::global().parallel_for(
+        Index{0}, n, "spmm_t",
+        [&](Index col) { spmm_t_col_naive(a, b.col(col), c.col(col)); },
+        grain);
+    return;
+  }
+  const Index nblocks = (n + kSpmmNb - 1) / kSpmmNb;
+  const Index grain = a.nnz() * n < kForkWork ? nblocks + 1 : 1;
+  ThreadPool::global().parallel_for(
+      Index{0}, nblocks, "spmm_t",
+      [&](Index blk) {
+        const Index c0 = blk * kSpmmNb;
+        const Index c1 = std::min(c0 + kSpmmNb, n);
+        if (c1 - c0 == kSpmmNb) {
+          spmm_t_quad_blocked(a, b, c, c0);
+        } else {
+          for (Index col = c0; col < c1; ++col)
+            spmm_t_col_naive(a, b.col(col), c.col(col));
+        }
+      },
+      grain);
 }
 
 Matrix spmm_t(const CscMatrix& a, const Matrix& b) {
-  assert(a.rows() == b.rows());
-  Matrix c(a.cols(), b.cols());
-  // Each output column depends on one column of b only: embarrassingly
-  // parallel with bitwise-identical results per column.
-  const Index grain = a.nnz() * b.cols() < kForkWork ? b.cols() + 1 : 1;
-  ThreadPool::global().parallel_for(
-      Index{0}, b.cols(), "spmm_t",
-      [&](Index col) {
-        const double* bc = b.col(col);
-        double* cc = c.col(col);
-        for (Index j = 0; j < a.cols(); ++j) {
-          const auto rows = a.col_rows(j);
-          const auto vals = a.col_values(j);
-          double s = 0.0;
-          for (std::size_t p = 0; p < rows.size(); ++p)
-            s += vals[p] * bc[rows[p]];
-          cc[j] = s;
-        }
-      },
-      grain);
+  Matrix c;
+  spmm_t_into(c, a, b);
   return c;
 }
 
-Matrix dense_times_csc(const Matrix& b, const CscMatrix& a) {
+void dense_times_csc_into(Matrix& c, const Matrix& b, const CscMatrix& a) {
   assert(b.cols() == a.rows());
-  Matrix c(b.rows(), a.cols());
+  c.reshape(b.rows(), a.cols());
+  zero_fill(c);
   // One output column per column of A; independent across columns.
   const Index grain = a.nnz() * b.rows() < kForkWork ? a.cols() + 1 : 1;
+  const bool blocked = kernel_variant() == KernelVariant::kBlocked;
   ThreadPool::global().parallel_for(
       Index{0}, a.cols(), "spmm",
       [&](Index j) {
-        const auto rows = a.col_rows(j);
-        const auto vals = a.col_values(j);
-        double* cj = c.col(j);
-        for (std::size_t p = 0; p < rows.size(); ++p) {
-          const double w = vals[p];
-          const double* bk = b.col(rows[p]);
-          for (Index i = 0; i < b.rows(); ++i) cj[i] += w * bk[i];
+        if (blocked) {
+          dtc_col_blocked(b, a, j, c.col(j));
+        } else {
+          dtc_col_naive(b, a, j, c.col(j));
         }
       },
       grain);
+}
+
+Matrix dense_times_csc(const Matrix& b, const CscMatrix& a) {
+  Matrix c;
+  dense_times_csc_into(c, b, a);
   return c;
 }
 
@@ -117,11 +340,16 @@ double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w) {
   constexpr Index kChunkCols = 64;
   const double sum = ThreadPool::global().parallel_reduce_sum(
       Index{0}, a.cols(), "residual", kChunkCols, [&](Index j0, Index j1) {
-        std::vector<double> colbuf(static_cast<std::size_t>(a.rows()));
+        // The column buffer comes from the executing worker's arena: a bump
+        // allocation the arena serves from the same block on every chunk, so
+        // steady-state chunks never touch the heap (the seed code built a
+        // fresh std::vector per chunk callback).
+        Workspace::Scope scope;
+        double* colbuf = scope.doubles(static_cast<std::size_t>(a.rows()));
         double s = 0.0;
         for (Index j = j0; j < j1; ++j) {
           // colbuf = H * W(:, j)
-          gemv(colbuf.data(), h, w.col(j));
+          gemv(colbuf, h, w.col(j));
           const auto rows = a.col_rows(j);
           const auto vals = a.col_values(j);
           for (std::size_t p = 0; p < rows.size(); ++p)

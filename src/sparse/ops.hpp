@@ -2,13 +2,25 @@
 // Sparse-dense kernels: SpMV, SpMM and their transposes — the workhorses of
 // RandQB_EI (A*Omega, A^T*Q) and of residual checks in tests.
 //
-// Threading: the SpMM-family kernels and residual_fro run on the global
-// ThreadPool (par/pool.hpp), parallelized over output columns with static
-// slicing — output is bitwise identical at any thread count. Small inputs
-// (below a fixed work threshold) run inline with zero pool overhead, and
-// inside SimWorld ranks the kernels always degrade to serial loops so the
-// virtual-time accounting is unaffected. SpMV stays serial (memory-bound,
-// used on short vectors).
+// Threading: every kernel here runs on the global ThreadPool (par/pool.hpp)
+// with static slicing over a grid that is a pure function of the input shape,
+// so results are bitwise identical at any thread count. Small inputs (below a
+// fixed work threshold) run inline with zero pool overhead, and inside
+// SimWorld ranks the kernels always degrade to serial loops so the
+// virtual-time accounting is unaffected.
+//
+// Variants: the SpMM family has two selectable implementations
+// (support/kernel_variant.hpp). The blocked variant processes NB output
+// columns per pass over A's index/value arrays (SpMM/SpMM^T) or row-blocks
+// the scatter (dense x CSC); each output element still accumulates its terms
+// in the seed order, so blocked and naive are bitwise identical on every
+// input — the identity tests assert exactly that.
+//
+// Allocation: the `_into` entry points reshape a caller-owned output buffer
+// in place (no heap traffic once the buffer has grown to the working-set
+// size); the value-returning wrappers remain for call sites that want a fresh
+// Matrix. Scratch inside the kernels comes from the per-thread workspace
+// arena (support/workspace.hpp), never from per-call vectors.
 
 #include "dense/matrix.hpp"
 #include "sparse/csc.hpp"
@@ -21,8 +33,12 @@ namespace lra {
 /// @param x  Input vector of length a.cols(); caller-owned, not aliased by y.
 /// @param y  Output vector of length a.rows(); overwritten.
 /// @pre  x != y (no aliasing); both non-null for non-empty a.
-/// @note Serial; safe to call concurrently from different threads on
-///       disjoint outputs.
+/// @note Parallel over a fixed column-chunk grid when the matrix is large
+///       enough; per-chunk partial vectors are combined serially in chunk
+///       order, so the bits never depend on the worker count (for large
+///       inputs they differ from the historical serial loop by normal
+///       floating-point reassociation, like residual_fro). Small inputs take
+///       the seed serial loop bit-for-bit.
 void spmv(const CscMatrix& a, const double* x, double* y);
 
 /// Transposed product y = A^T x.
@@ -30,6 +46,8 @@ void spmv(const CscMatrix& a, const double* x, double* y);
 /// @param x  Input of length a.rows().
 /// @param y  Output of length a.cols(); overwritten.
 /// @pre  x != y.
+/// @note Parallel over output elements (independent dots accumulated in the
+///       seed order) — bitwise identical to the serial loop at any width.
 void spmv_t(const CscMatrix& a, const double* x, double* y);
 
 /// C = A * B with dense B.
@@ -42,6 +60,11 @@ void spmv_t(const CscMatrix& a, const double* x, double* y);
 ///       (bitwise identical to the serial loop) at any worker count.
 Matrix spmm(const CscMatrix& a, const Matrix& b);
 
+/// C = A * B into a caller-owned buffer: `c` is reshaped to m x n (reusing
+/// its allocation when large enough) and overwritten.
+/// @pre  `c` aliases neither `a` nor `b`.
+void spmm_into(Matrix& c, const CscMatrix& a, const Matrix& b);
+
 /// C = A^T * B with dense B.
 ///
 /// @param a  m x p sparse matrix (used transposed: p x m).
@@ -50,6 +73,10 @@ Matrix spmm(const CscMatrix& a, const Matrix& b);
 /// @pre  a.rows() == b.rows().
 /// @note Parallel over columns of C; deterministic at any worker count.
 Matrix spmm_t(const CscMatrix& a, const Matrix& b);
+
+/// C = A^T * B into a caller-owned buffer (reshaped to p x n).
+/// @pre  `c` aliases neither `a` nor `b`.
+void spmm_t_into(Matrix& c, const CscMatrix& a, const Matrix& b);
 
 /// C = B * A with dense B on the left.
 ///
@@ -60,6 +87,10 @@ Matrix spmm_t(const CscMatrix& a, const Matrix& b);
 /// @note Parallel over columns of A (and hence of C); deterministic.
 Matrix dense_times_csc(const Matrix& b, const CscMatrix& a);
 
+/// C = B * A into a caller-owned buffer (reshaped to m x n).
+/// @pre  `c` aliases neither `a` nor `b`.
+void dense_times_csc_into(Matrix& c, const Matrix& b, const CscMatrix& a);
+
 /// Residual ||A - H W||_F without materializing H W: processed in column
 /// blocks so peak extra memory is O(m * block).
 ///
@@ -69,7 +100,8 @@ Matrix dense_times_csc(const Matrix& b, const CscMatrix& a);
 /// @note Parallel reduction over a fixed column-chunk grid: the summation
 ///       order — and hence the returned bits — is independent of the worker
 ///       count (but differs from the historical single-accumulator serial
-///       sum by normal floating-point reassociation).
+///       sum by normal floating-point reassociation). Per-chunk scratch
+///       comes from the worker's arena, not the heap.
 double residual_fro(const CscMatrix& a, const Matrix& h, const Matrix& w);
 
 /// Columns [j0, j1) of A, densified.

@@ -1,0 +1,41 @@
+#pragma once
+// Runtime switch between the seed ("naive") compute kernels and the packed /
+// register-tiled ("blocked") rewrites in dense/blas.cpp and sparse/ops.cpp.
+//
+// Both variants are always compiled; the dispatch happens once per kernel
+// call on a cached flag. Selection order: set_kernel_variant() (the
+// --kernel-variant=naive|blocked CLI flag), then the LRA_KERNEL_VARIANT
+// environment variable, then the blocked default. The escape hatch exists
+// for three reasons: a fast way to bisect perf or correctness regressions
+// to the kernel rewrite, an A/B axis for bench_kernels' speedup numbers,
+// and the lever the bitwise-identity tests use to pit the two
+// implementations against each other on the same inputs.
+//
+// For inputs free of non-finite values and exact-zero entries in the dense
+// operands, both variants produce bitwise-identical results at any thread
+// count (see the determinism notes in ARCHITECTURE.md): the blocked kernels
+// tile only over output rows/columns and never split a k-reduction, so each
+// output element accumulates its terms in exactly the seed kernel's order.
+// The one behavioural difference is that the seed GEMM/SpMM skip
+// multiply-adds whose dense multiplier is exactly 0.0, which can flip a
+// -0.0 or suppress a NaN on degenerate inputs.
+
+#include <string_view>
+
+namespace lra {
+
+enum class KernelVariant { kNaive, kBlocked };
+
+/// Active variant (cached; first call consults LRA_KERNEL_VARIANT).
+KernelVariant kernel_variant();
+
+/// Override the variant (CLI / tests). Takes effect for subsequent kernel
+/// calls; not synchronized with kernels already running on the pool.
+void set_kernel_variant(KernelVariant v);
+
+/// "naive" / "blocked" -> enum; returns false on anything else.
+bool parse_kernel_variant(std::string_view text, KernelVariant* out);
+
+const char* to_string(KernelVariant v);
+
+}  // namespace lra

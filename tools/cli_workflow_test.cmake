@@ -68,6 +68,39 @@ file(WRITE ${repro} "{\"matrix\": \"M1\", \"scale\": 0.25, \"method\": \"lu_crtp
 run(${LRA_CLI} repro --file=${repro})
 run(${LRA_CLI} --repro=${repro})
 
+# Kernel-variant leg: the same approximation computed with the naive and the
+# blocked kernels must serialize to byte-identical factor files (randqb and
+# lu cover the GEMM-heavy and the Schur-update paths end to end).
+foreach(method randqb lu)
+  set(fact_naive ${WORK_DIR}/cli_test_${method}_naive.fact)
+  set(fact_blocked ${WORK_DIR}/cli_test_${method}_blocked.fact)
+  run(${LRA_CLI} approx --mtx=${mtx} --method=${method} --tau=1e-2
+      --kernel-variant=naive --out=${fact_naive})
+  run(${LRA_CLI} approx --mtx=${mtx} --method=${method} --tau=1e-2
+      --kernel-variant=blocked --out=${fact_blocked})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${fact_naive} ${fact_blocked}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${method}: naive and blocked kernel variants produced different "
+            "factor files (${fact_naive} vs ${fact_blocked})")
+  endif()
+  file(REMOVE ${fact_naive} ${fact_blocked})
+endforeach()
+
+# A bad variant must be rejected with the usage exit code, not run.
+execute_process(
+  COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --kernel-variant=fast
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--kernel-variant=fast exited ${rc}, expected 2:\n${err}")
+endif()
+string(FIND "${err}" "expected naive|blocked" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "--kernel-variant=fast did not explain itself:\n${err}")
+endif()
+
 # --threads=0 must not be UB: the CLI warns on stderr and runs on 1 worker.
 execute_process(
   COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --threads=0 --out=${fact}

@@ -27,6 +27,9 @@
 //   pool (default: LRA_NUM_THREADS or the hardware concurrency; 0 or
 //   negative values warn and fall back to 1). Simulated ranks (--np) always
 //   compute single-threaded per rank so virtual times stay comparable.
+//   Every subcommand also accepts --kernel-variant=naive|blocked to pick
+//   the compute-kernel implementations (default: LRA_KERNEL_VARIANT or
+//   blocked); `naive` selects the reference loops for differential checks.
 //   lra_cli verify --mtx=a.mtx --fact=fact.bin
 //       Reload stored factors and report the exact achieved error.
 
@@ -54,7 +57,9 @@
 #include "sparse/io_mm.hpp"
 #include "sparse/ops.hpp"
 #include "support/cli.hpp"
+#include "support/kernel_variant.hpp"
 #include "support/stopwatch.hpp"
+#include "support/workspace.hpp"
 
 namespace {
 
@@ -261,6 +266,7 @@ int cmd_approx(const Cli& cli) {
     obs::write_telemetry(*report, to_string(approx.method()),
                          approx.telemetry());
     obs::write_pool_stats(*report, ThreadPool::global().kernel_stats());
+    obs::write_workspace_stats(*report, Workspace::aggregate());
     obs::JsonObj summary;
     summary.field("type", "summary")
         .field("status", to_string(approx.status()))
@@ -350,6 +356,17 @@ int main(int argc, char** argv) {
       const int n =
           lra::resolve_thread_count(cli.get_int("threads", 0), "--threads");
       lra::ThreadPool::global().set_num_threads(n);
+    }
+    if (cli.has("kernel-variant")) {
+      const std::string v = cli.get("kernel-variant", "");
+      lra::KernelVariant kv;
+      if (!lra::parse_kernel_variant(v, &kv)) {
+        std::fprintf(stderr,
+                     "error: --kernel-variant=%s (expected naive|blocked)\n",
+                     v.c_str());
+        return 2;
+      }
+      lra::set_kernel_variant(kv);
     }
     // `lra_cli --repro=case.json` is the one-invocation replay the harness
     // prints on failure; it is sugar for `lra_cli repro --file=case.json`.
