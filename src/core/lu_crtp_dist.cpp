@@ -284,6 +284,21 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
         });
       }
 
+      // --- Schur update of the local columns ---
+      CscMatrix schur_loc = ctx.compute("schur", [&] {
+        CscMatrix sc = schur_update(a22_loc, x, u12_loc);
+        sc.prune(0.0);
+        return sc;
+      });
+
+      // Post the error-indicator reduction now and record this round's
+      // factor triplets while it is in flight: the recording reads only
+      // panel state (x, a11, u12), none of which the reduction touches, so
+      // the bookkeeping overlaps the modeled allreduce.
+      const double local_sq = schur_loc.frobenius_norm_sq();
+      CollRequest ind_req =
+          ctx.iallreduce_sum(std::vector<double>{local_sq});
+
       // --- Record L and U triplets (L on rank 0; U on the owning ranks) ---
       const Index koff = rank_so_far;
       for (Index j = 0; j < kk; ++j) {
@@ -313,18 +328,10 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
           u_entries.push_back({koff + rows[t], next_col_ids[j], vals[t]});
       }
 
-      // --- Schur update of the local columns ---
-      CscMatrix schur_loc = ctx.compute("schur", [&] {
-        CscMatrix sc = schur_update(a22_loc, x, u12_loc);
-        sc.prune(0.0);
-        return sc;
-      });
-
       rank_so_far += kk;
       iterations += 1;
 
-      const double local_sq = schur_loc.frobenius_norm_sq();
-      indicator = std::sqrt(std::max(0.0, ctx.allreduce_sum(local_sq)));
+      indicator = std::sqrt(std::max(0.0, ctx.wait_allreduce_sum(ind_req)[0]));
 
       // --- ILUT thresholding ---
       if (threshold_enabled && iterations == 1) {

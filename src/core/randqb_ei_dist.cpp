@@ -39,7 +39,12 @@ Matrix tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
   std::vector<double> payload;
   payload.push_back(static_cast<double>(r_loc.rows()));
   payload.insert(payload.end(), flat.begin(), flat.end());
-  const std::vector<double> all = ctx.allgatherv(payload);
+  // Post the R-factor exchange, then form this rank's explicit Q1 while it
+  // is in flight — thin_q depends only on the local factorization, so the
+  // O(m_loc * kk^2) backtransform genuinely overlaps the modeled allgather.
+  CollRequest gather = ctx.iallgatherv(payload);
+  Matrix q1 = ctx.compute(kernel, [&] { return f.thin_q(); });
+  const std::vector<double> all = ctx.wait_allgatherv(gather);
 
   // Stack and redundantly factor the P small R blocks.
   return ctx.compute(kernel, [&] {
@@ -223,6 +228,14 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
         return bk_partial.block(0, cs.begin, kk, cs.size());
       });
 
+      // Error indicator: ||B_k||_F^2 summed over column slices. Post the
+      // reduction first, then fold the new block into the accumulated basis
+      // while the allreduce is in flight — the append reads nothing the
+      // reduction writes, so the copy cost genuinely overlaps the transfer.
+      const double local_sq =
+          ctx.compute("error_check", [&] { return bk_slice.frobenius_norm_sq(); });
+      CollRequest ind_req = ctx.iallreduce_sum(std::vector<double>{local_sq});
+
       ctx.compute("b_update", [&] {
         q_loc.append_cols(qk_loc);
         b_loc.append_rows(bk_slice);
@@ -230,10 +243,7 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
       rank_so_far += kk;
       iterations += 1;
 
-      // Error indicator: ||B_k||_F^2 summed over column slices.
-      const double local_sq =
-          ctx.compute("error_check", [&] { return bk_slice.frobenius_norm_sq(); });
-      const double bk_sq = ctx.allreduce_sum(local_sq);
+      const double bk_sq = ctx.wait_allreduce_sum(ind_req)[0];
       e -= bk_sq;
       indicator = std::sqrt(std::max(0.0, e));
       iter_vs.push_back(ctx.vtime());

@@ -37,7 +37,12 @@ TsqrOut tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
   payload.push_back(static_cast<double>(r_loc.rows()));
   for (Index i = 0; i < r_loc.rows(); ++i)
     for (Index j = 0; j < kk; ++j) payload.push_back(r_loc(i, j));
-  const std::vector<double> all = ctx.allgatherv(payload);
+  // Post the R-factor exchange and form this rank's explicit Q1 while it is
+  // in flight: thin_q reads only the local factorization, so the backtransform
+  // overlaps the modeled allgather without touching any floating-point order.
+  CollRequest gather = ctx.iallgatherv(payload);
+  Matrix q1 = ctx.compute(kernel, [&] { return f.thin_q(); });
+  const std::vector<double> all = ctx.wait_allgatherv(gather);
 
   return ctx.compute(kernel, [&] {
     Matrix stacked(0, kk);
@@ -59,16 +64,21 @@ TsqrOut tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
     out.r = top.r();
     const Matrix my_q2 = q2.block(offsets[ctx.rank()], 0,
                                   std::min<Index>(r_loc.rows(), kk), kk);
-    Matrix q1 = f.thin_q();
     out.q_loc = matmul(q1, my_q2);
     return out;
   });
 }
 
-// Replicate a row-distributed dense block (slices in rank order).
-Matrix replicate(RankCtx& ctx, const Matrix& loc, Index total_rows, Index kk) {
+// Replicate a row-distributed dense block (slices in rank order). Split into
+// post + wait halves so callers can slot independent work into the transfer.
+CollRequest ireplicate(RankCtx& ctx, const Matrix& loc) {
   std::vector<double> flat(loc.data(), loc.data() + loc.size());
-  const std::vector<double> all = ctx.allgatherv(flat);
+  return ctx.iallgatherv(flat);
+}
+
+Matrix wait_replicate(RankCtx& ctx, CollRequest& req, Index total_rows,
+                      Index kk) {
+  const std::vector<double> all = ctx.wait_allgatherv(req);
   Matrix full(total_rows, kk);
   std::size_t pos = 0;
   for (int r = 0; r < ctx.size(); ++r) {
@@ -79,6 +89,11 @@ Matrix replicate(RankCtx& ctx, const Matrix& loc, Index total_rows, Index kk) {
     pos += static_cast<std::size_t>(s.size() * kk);
   }
   return full;
+}
+
+Matrix replicate(RankCtx& ctx, const Matrix& loc, Index total_rows, Index kk) {
+  CollRequest req = ireplicate(ctx, loc);
+  return wait_replicate(ctx, req, total_rows, kk);
 }
 
 // Allreduce a dense matrix elementwise (used for K x b projections and for
@@ -184,11 +199,14 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
       TsqrOut vt = tsqr_dist(ctx, std::move(w_loc), b, "orth");
       Matrix vnext_loc = std::move(vt.q_loc);
       const Matrix rj = std::move(vt.r);
+      // Post the V_{j+1} replication before the residual bookkeeping — the
+      // bookkeeping reads only R_j, so it rides in the allgather's shadow.
+      CollRequest vrep = ireplicate(ctx, vnext_loc);
       e -= rj.frobenius_norm_sq();
       super_r.push_back(rj);
 
       // Z = A V_{j+1} - U_j R_j^T (row-distributed over m), full reorth.
-      const Matrix vnext_full = replicate(ctx, vnext_loc, n, b);
+      const Matrix vnext_full = wait_replicate(ctx, vrep, n, b);
       Matrix znext_loc = ctx.compute("spmm", [&] {
         Matrix z = spmm(a_loc, vnext_full);
         gemm(z, uj_loc, rj, -1.0, 1.0, Trans::kNo, Trans::kYes);

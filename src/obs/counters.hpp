@@ -24,6 +24,21 @@ struct CommCounters {
   // Collectives, keyed by operation label ("barrier", "allreduce", ...).
   std::map<std::string, std::uint64_t> collective_calls;
   std::map<std::string, std::uint64_t> collective_bytes;  // local contribution
+  // Collective completions keyed by the algorithm that ran ("tree"/"ring").
+  // Under --comm-algo=auto with non-uniform allgatherv contributions, ranks
+  // may legitimately resolve different algorithms from their local payload
+  // estimates, so no cross-rank invariant ties these together.
+  std::map<std::string, std::uint64_t> collective_algo_calls;
+
+  // Nonblocking-request accounting. overlap_seconds is the modeled transfer
+  // time this rank spent computing between a request's post and completion
+  // (always 0.0 on the blocking paths, which post and wait back-to-back);
+  // coll_seconds is the deterministic sum of applied collective costs — the
+  // modeled-communication share of the final virtual clock, free of the
+  // measured-CPU noise in vtime() and therefore comparable across runs.
+  double overlap_seconds = 0.0;
+  std::uint64_t overlapped_requests = 0;
+  double coll_seconds = 0.0;
 
   // Fault-injection accounting (all zero when no FaultPlan is installed).
   // Sender side, indexed by destination rank:
@@ -54,6 +69,10 @@ struct CommCounters {
     coll_flip_faults = 0;
     collective_calls.clear();
     collective_bytes.clear();
+    collective_algo_calls.clear();
+    overlap_seconds = 0.0;
+    overlapped_requests = 0;
+    coll_seconds = 0.0;
     max_queue_depth = 0;
   }
 

@@ -2,6 +2,28 @@
 
 namespace lra {
 
+const char* to_string(CommAlgo a) {
+  switch (a) {
+    case CommAlgo::kTree: return "tree";
+    case CommAlgo::kRing: return "ring";
+    case CommAlgo::kAuto: return "auto";
+  }
+  return "tree";
+}
+
+bool parse_comm_algo(const std::string& s, CommAlgo* out) {
+  if (s == "tree") {
+    *out = CommAlgo::kTree;
+  } else if (s == "ring") {
+    *out = CommAlgo::kRing;
+  } else if (s == "auto") {
+    *out = CommAlgo::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int CostModel::ceil_log2(int p) {
   int l = 0;
   int v = 1;
@@ -21,22 +43,52 @@ double CostModel::tree(int nranks, std::size_t bytes) const {
   return static_cast<double>(ceil_log2(nranks)) * p2p(bytes);
 }
 
-double CostModel::allreduce(int nranks, std::size_t bytes) const {
+double CostModel::tree_allreduce(int nranks, std::size_t bytes) const {
   if (nranks <= 1) return 0.0;
-  // Rabenseifner reduce-scatter + allgather: 2 log2(P) latency stages, but
-  // only ~2 (P-1)/P of the payload crosses any link (bandwidth-optimal).
-  const double frac =
-      static_cast<double>(nranks - 1) / static_cast<double>(nranks);
-  return 2.0 * static_cast<double>(ceil_log2(nranks)) * alpha +
-         2.0 * frac * beta * static_cast<double>(bytes);
+  // Reduce to the root, then broadcast back down: the full payload is on
+  // the critical path of every one of the 2*ceil(log2 P) hops.
+  return 2.0 * static_cast<double>(ceil_log2(nranks)) * p2p(bytes);
 }
 
-double CostModel::allgather(int nranks, std::size_t total_bytes) const {
+double CostModel::tree_allgather(int nranks, std::size_t total_bytes) const {
   if (nranks <= 1) return 0.0;
-  const double frac =
-      static_cast<double>(nranks - 1) / static_cast<double>(nranks);
-  return static_cast<double>(ceil_log2(nranks)) * alpha +
-         beta * frac * static_cast<double>(total_bytes);
+  return static_cast<double>(ceil_log2(nranks)) * p2p(total_bytes);
+}
+
+double CostModel::ring_allreduce(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  const auto p = static_cast<std::size_t>(nranks);
+  const std::size_t seg = (bytes + p - 1) / p;  // ceil(bytes / P)
+  return 2.0 * static_cast<double>(nranks - 1) * p2p(seg);
+}
+
+double CostModel::ring_allgather(int nranks, std::size_t total_bytes) const {
+  if (nranks <= 1) return 0.0;
+  const auto p = static_cast<std::size_t>(nranks);
+  const std::size_t seg = (total_bytes + p - 1) / p;
+  return static_cast<double>(nranks - 1) * p2p(seg);
+}
+
+CommAlgo CostModel::resolve(int nranks, std::size_t bytes) const {
+  if (comm_algo != CommAlgo::kAuto) return comm_algo;
+  if (nranks <= 1) return CommAlgo::kTree;
+  return bytes >= ring_cutoff_bytes ? CommAlgo::kRing : CommAlgo::kTree;
+}
+
+double CostModel::coll_allreduce(int nranks, std::size_t bytes,
+                                 CommAlgo* chosen) const {
+  const CommAlgo a = resolve(nranks, bytes);
+  if (chosen) *chosen = a;
+  return a == CommAlgo::kRing ? ring_allreduce(nranks, bytes)
+                              : tree_allreduce(nranks, bytes);
+}
+
+double CostModel::coll_allgather(int nranks, std::size_t total_bytes,
+                                 CommAlgo* chosen) const {
+  const CommAlgo a = resolve(nranks, total_bytes);
+  if (chosen) *chosen = a;
+  return a == CommAlgo::kRing ? ring_allgather(nranks, total_bytes)
+                              : tree_allgather(nranks, total_bytes);
 }
 
 }  // namespace lra

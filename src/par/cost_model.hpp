@@ -3,25 +3,72 @@
 // virtual clocks in the simulated message-passing runtime. Defaults roughly
 // match a commodity HPC interconnect (2 us latency, ~1.25 GB/s effective
 // per-link bandwidth), i.e. the class of machine (VSC4) used in the paper.
+//
+// Collectives are algorithm-aware: a binomial-tree schedule (few latency
+// stages, full payload on every hop — cheap for small messages) and a ring
+// schedule (P-1 latency stages, but only a 1/P segment per hop —
+// bandwidth-optimal for large messages). `comm_algo` selects tree, ring, or
+// an automatic crossover at `ring_cutoff_bytes`; the runtime charges the
+// chosen formula and records which algorithm ran. The data movement itself
+// is algorithm-independent (SimWorld's rendezvous exchanges every
+// contribution either way), so tree and ring runs produce bitwise-identical
+// results and differ only in modeled time.
 
 #include <cstddef>
+#include <string>
 
 namespace lra {
+
+/// Collective algorithm selector, surfaced on the CLI as
+/// --comm-algo=tree|ring|auto.
+enum class CommAlgo { kTree, kRing, kAuto };
+
+const char* to_string(CommAlgo a);
+/// Parse "tree" / "ring" / "auto"; returns false (and leaves *out untouched)
+/// on anything else.
+bool parse_comm_algo(const std::string& s, CommAlgo* out);
 
 struct CostModel {
   double alpha = 2.0e-6;  // per-message latency, seconds
   double beta = 8.0e-10;  // per-byte transfer time, seconds
+
+  /// Algorithm for the payload-bearing collectives (allreduce_sum /
+  /// allgatherv). kAuto switches tree -> ring at ring_cutoff_bytes. The
+  /// default cutoff sits below the analytic tree/ring crossover for every
+  /// P >= 2 under the default alpha/beta, so auto's modeled cost stays
+  /// monotone in payload size for P >= 4 (at P = 2 ring never loses).
+  CommAlgo comm_algo = CommAlgo::kTree;
+  std::size_t ring_cutoff_bytes = 1024;
 
   /// Point-to-point message of `bytes`.
   double p2p(std::size_t bytes) const;
   /// Tree-structured collective (bcast/reduce/barrier) over P ranks moving
   /// `bytes` per stage: ceil(log2 P) sequential message steps.
   double tree(int nranks, std::size_t bytes) const;
-  /// Recursive-doubling allreduce of `bytes` (log2 P stages, full payload).
-  double allreduce(int nranks, std::size_t bytes) const;
-  /// Bandwidth-optimal allgather: log2 P latency stages, (P-1)/P of the total
-  /// payload crosses each link.
-  double allgather(int nranks, std::size_t total_bytes) const;
+
+  /// Binomial-tree allreduce: reduce up + broadcast down, the full payload
+  /// crossing a link on each of the 2*ceil(log2 P) stages.
+  double tree_allreduce(int nranks, std::size_t bytes) const;
+  /// Binomial-tree allgather: ceil(log2 P) stages, the full concatenated
+  /// payload on the critical path of every stage (pessimistic, like the
+  /// reference runtime this model grew from).
+  double tree_allgather(int nranks, std::size_t total_bytes) const;
+  /// Ring allreduce (reduce-scatter + allgather): 2*(P-1) stages, each
+  /// moving a ceil(bytes/P) segment — bandwidth-optimal, latency-heavy.
+  double ring_allreduce(int nranks, std::size_t bytes) const;
+  /// Ring allgather: P-1 stages of ceil(total/P) segments.
+  double ring_allgather(int nranks, std::size_t total_bytes) const;
+
+  /// The algorithm `comm_algo` selects for a collective moving `bytes`
+  /// (never returns kAuto; degenerate worlds resolve to kTree).
+  CommAlgo resolve(int nranks, std::size_t bytes) const;
+  /// Modeled allreduce cost under the resolved algorithm; reports the
+  /// choice through `chosen` when non-null.
+  double coll_allreduce(int nranks, std::size_t bytes,
+                        CommAlgo* chosen = nullptr) const;
+  /// Modeled allgather cost of `total_bytes` under the resolved algorithm.
+  double coll_allgather(int nranks, std::size_t total_bytes,
+                        CommAlgo* chosen = nullptr) const;
 
   static int ceil_log2(int p);
 };

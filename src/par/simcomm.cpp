@@ -32,7 +32,10 @@ int RankCtx::size() const { return world_->nranks_; }
 
 const CostModel& RankCtx::cost() const { return world_->cost_; }
 
-void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
+// --- point-to-point ---
+
+SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
+                                int tag) {
   if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(dst) * world_->nranks_ + rank_];
@@ -77,12 +80,14 @@ void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
     }
   }
 
-  // Buffered send: the sender pays only the injection latency.
+  // Buffered send: the sender pays only the injection latency, at post time
+  // — so an isend request is born complete and wait() on it is free.
   vclock_ += world_->cost_.alpha;
   {
     std::lock_guard<std::mutex> lock(box.mu);
+    msg.seq = box.send_seq[tag]++;
     if (dup) {
-      SimWorld::Message copy = msg;  // same payload (post-flip) and arrival
+      SimWorld::Message copy = msg;  // same payload (post-flip), arrival, seq
       copy.dup_copy = true;
       box.per_src_queue.push_back(std::move(msg));
       box.per_src_queue.push_back(std::move(copy));
@@ -101,58 +106,134 @@ void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
   if (trace_)
     trace_->span("send->" + std::to_string(dst), obs::SpanCat::kP2P, v0,
                  vclock_, nbytes, dst);
+
+  SimRequest req;
+  req.kind_ = SimRequest::Kind::kSend;
+  req.peer_ = dst;
+  req.tag_ = tag;
+  req.post_vtime_ = v0;
+  req.complete_vtime_ = vclock_;
+  req.done_ = true;
+  return req;
 }
 
-std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
+void RankCtx::send_bytes(int dst, std::vector<std::byte> data, int tag) {
+  isend_bytes(dst, std::move(data), tag);
+}
+
+SimRequest RankCtx::irecv_bytes(int src, int tag) {
+  if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ + src];
-  const double v0 = vclock_;
+  SimRequest req;
+  req.kind_ = SimRequest::Kind::kRecv;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.post_vtime_ = vclock_;
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    req.ticket_ = box.recv_ticket[tag]++;
+  }
+  return req;
+}
+
+bool RankCtx::try_complete_recv(SimRequest& req,
+                                std::unique_lock<std::mutex>& lock) {
+  const int src = req.peer_;
+  SimWorld::Mailbox& box =
+      world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ + src];
+  auto& q = box.per_src_queue;
+  for (auto it = q.begin(); it != q.end();) {
+    if (it->dup_copy) {
+      // Injected duplicate: the transport discards it on sight (sequence-
+      // number dedup) and keeps scanning for the real message.
+      it = q.erase(it);
+      counters_.dups_dropped_from[src] += 1;
+      trace_fault("fault:dup-drop", 0, src);
+      continue;
+    }
+    if (it->tag == req.tag_ && it->seq == req.ticket_) {
+      SimWorld::Message msg = std::move(*it);
+      q.erase(it);
+      lock.unlock();
+      record_overlap(req.post_vtime_, vclock_, msg.arrival_vtime);
+      vclock_ = std::max(vclock_, msg.arrival_vtime);
+      counters_.msgs_recv_from[src] += 1;
+      counters_.bytes_recv_from[src] += msg.data.size();
+      if (trace_)
+        trace_->span("recv<-" + std::to_string(src), obs::SpanCat::kP2P,
+                     req.post_vtime_, vclock_, msg.data.size(), src);
+      if (msg.has_checksum &&
+          sim::payload_checksum(msg.data.data(), msg.data.size()) !=
+              msg.checksum) {
+        counters_.corrupt_detected_from[src] += 1;
+        trace_fault("fault:detect", msg.data.size(), src);
+        world_->abort_run();
+        throw sim::CommFaultError(
+            "corrupted payload detected: " + std::to_string(msg.data.size()) +
+                "-byte message from rank " + std::to_string(src) +
+                " to rank " + std::to_string(rank_) + " failed its checksum",
+            src, rank_);
+      }
+      req.done_ = true;
+      req.complete_vtime_ = vclock_;
+      req.data_ = std::move(msg.data);
+      return true;
+    }
+    ++it;
+  }
+  return false;
+}
+
+void RankCtx::wait_complete(SimRequest& req) {
+  if (!req.valid())
+    throw std::logic_error("SimRequest: wait on an invalid request");
+  if (req.done_) return;  // sends complete at post; waits are idempotent
+  SimWorld::Mailbox& box =
+      world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ +
+                       req.peer_];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
-    for (auto it = box.per_src_queue.begin();
-         it != box.per_src_queue.end();) {
-      if (it->dup_copy) {
-        // Injected duplicate: the transport discards it on sight (sequence-
-        // number dedup) and keeps scanning for the real message.
-        it = box.per_src_queue.erase(it);
-        counters_.dups_dropped_from[src] += 1;
-        trace_fault("fault:dup-drop", 0, src);
-        continue;
-      }
-      if (it->tag == tag) {
-        SimWorld::Message msg = std::move(*it);
-        box.per_src_queue.erase(it);
-        lock.unlock();
-        vclock_ = std::max(vclock_, msg.arrival_vtime);
-        counters_.msgs_recv_from[src] += 1;
-        counters_.bytes_recv_from[src] += msg.data.size();
-        if (trace_)
-          trace_->span("recv<-" + std::to_string(src), obs::SpanCat::kP2P, v0,
-                       vclock_, msg.data.size(), src);
-        if (msg.has_checksum &&
-            sim::payload_checksum(msg.data.data(), msg.data.size()) !=
-                msg.checksum) {
-          counters_.corrupt_detected_from[src] += 1;
-          trace_fault("fault:detect", msg.data.size(), src);
-          world_->abort_run();
-          throw sim::CommFaultError(
-              "corrupted payload detected: " + std::to_string(msg.data.size()) +
-                  "-byte message from rank " + std::to_string(src) +
-                  " to rank " + std::to_string(rank_) + " failed its checksum",
-              src, rank_);
-        }
-        return std::move(msg.data);
-      }
-      ++it;
-    }
+    if (try_complete_recv(req, lock)) return;  // lock released inside
     if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
     box.cv.wait(lock);
   }
 }
 
-std::vector<std::vector<std::byte>> RankCtx::exchange_all(
-    std::vector<std::byte> contribution, double modeled_cost,
-    const char* label) {
+std::vector<std::byte> RankCtx::wait(SimRequest& req) {
+  wait_complete(req);
+  return req.take_data();
+}
+
+void RankCtx::waitall(std::vector<SimRequest>& reqs) {
+  // Completion clocks are max-folds over arrival times, so finishing the
+  // requests in index order yields the same final clock as any other order.
+  for (SimRequest& r : reqs) wait_complete(r);
+}
+
+bool RankCtx::test(SimRequest& req) {
+  if (!req.valid())
+    throw std::logic_error("SimRequest: test on an invalid request");
+  if (req.done_) return true;
+  SimWorld::Mailbox& box =
+      world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ +
+                       req.peer_];
+  std::unique_lock<std::mutex> lock(box.mu);
+  if (try_complete_recv(req, lock)) return true;
+  if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
+  return false;
+}
+
+std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
+  SimRequest req = irecv_bytes(src, tag);
+  return wait(req);
+}
+
+// --- collectives ---
+
+CollRequest RankCtx::ipost_exchange(std::vector<std::byte> contribution,
+                                    double modeled_cost, const char* label,
+                                    CommAlgo algo) {
   const sim::FaultPlan* fp = world_->fault_plan_;
   bool flip_here = false;
   if (fp) {
@@ -179,53 +260,88 @@ std::vector<std::vector<std::byte>> RankCtx::exchange_all(
     }
   }
 
-  const std::size_t nbytes = contribution.size();
-  const double v0 = vclock_;
+  CollRequest req;
+  req.gen_ = coll_gen_++;
+  req.post_vtime_ = vclock_;
+  req.nbytes_ = contribution.size();
+  req.label_ = label;
+  req.algo_ = algo;
+
+  SimWorld::CollectiveCtx& c = world_->coll_;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
+    SimWorld::CollGen& g = c.gens[req.gen_];
+    if (g.contrib.empty())
+      g.contrib.assign(static_cast<std::size_t>(world_->nranks_), {});
+    g.contrib[rank_] = std::move(contribution);
+    if (flip_here) g.corrupt = true;
+    g.vt_max = std::max(g.vt_max, vclock_);
+    g.cost_max = std::max(g.cost_max, modeled_cost);
+    if (++g.arrived == world_->nranks_) {
+      // Finish time is computed from the *post* clocks: ranks that post
+      // early and compute until their wait genuinely overlap the transfer.
+      g.vt_out = g.vt_max + g.cost_max;
+      g.done = true;
+      c.cv.notify_all();
+    }
+  }
+  return req;
+}
+
+std::vector<std::vector<std::byte>> RankCtx::wait_exchange(CollRequest& req) {
+  if (!req.valid())
+    throw std::logic_error("CollRequest: wait on an invalid request");
+  if (req.done_)
+    throw std::logic_error("CollRequest: collective already waited on");
   SimWorld::CollectiveCtx& c = world_->coll_;
   std::unique_lock<std::mutex> lock(c.mu);
-  if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
-  const long my_gen = c.generation;
-  c.contrib[rank_] = std::move(contribution);
-  if (flip_here) c.corrupt = true;
-  c.vt_max = std::max(c.vt_max, vclock_);
-  c.cost_max = std::max(c.cost_max, modeled_cost);
-  if (++c.arrived == world_->nranks_) {
-    c.result = std::move(c.contrib);
-    c.contrib.assign(static_cast<std::size_t>(world_->nranks_), {});
-    c.result_corrupt = c.corrupt;
-    c.corrupt = false;
-    c.vt_out = c.vt_max + c.cost_max;
-    c.vt_max = 0.0;
-    c.cost_max = 0.0;
-    c.arrived = 0;
-    ++c.generation;
-    c.cv.notify_all();
-  } else {
-    c.cv.wait(lock, [&] {
-      return c.generation != my_gen ||
-             world_->aborted_.load(std::memory_order_relaxed);
-    });
-    // Torn down before the collective completed: unwind, don't deliver.
-    if (c.generation == my_gen) throw SimAbort{};
-  }
-  vclock_ = c.vt_out;
-  counters_.collective_calls[label] += 1;
-  counters_.collective_bytes[label] += nbytes;
+  auto it = c.gens.find(req.gen_);
+  if (it == c.gens.end())
+    throw std::logic_error("CollRequest: unknown collective generation");
+  SimWorld::CollGen& g = it->second;
+  c.cv.wait(lock, [&] {
+    return g.done || world_->aborted_.load(std::memory_order_relaxed);
+  });
+  // Torn down before the collective completed: unwind, don't deliver.
+  if (!g.done) throw SimAbort{};
+  const double vt_out = g.vt_out;
+  const double cost = g.cost_max;
+  const bool corrupt = g.corrupt;
+  std::vector<std::vector<std::byte>> result = g.contrib;  // every rank's copy
+  // The generation record lives until all ranks consumed it; a corrupted one
+  // is kept so every participant observes the flag before the world unwinds.
+  if (!corrupt && ++g.consumed == world_->nranks_) c.gens.erase(it);
+  lock.unlock();
+
+  record_overlap(req.post_vtime_, vclock_, vt_out);
+  vclock_ = std::max(vclock_, vt_out);
+  req.done_ = true;
+  req.complete_vtime_ = vclock_;
+  counters_.collective_calls[req.label_] += 1;
+  counters_.collective_bytes[req.label_] += req.nbytes_;
+  counters_.collective_algo_calls[to_string(req.algo_)] += 1;
+  counters_.coll_seconds += cost;
   if (trace_)
-    trace_->span(label, obs::SpanCat::kCollective, v0, vclock_, nbytes);
-  if (c.result_corrupt) {
-    // Every rank of this generation sees the flag (it holds c.mu, and the
-    // next generation cannot complete before this rank releases it), so all
-    // participants report the corrupted collective instead of consuming it.
-    lock.unlock();
+    trace_->span(req.label_, obs::SpanCat::kCollective, req.post_vtime_,
+                 vclock_, req.nbytes_);
+  if (corrupt) {
     world_->abort_run();
     throw sim::CommFaultError(
-        std::string(label) +
+        std::string(req.label_) +
             ": corrupted collective contribution detected at rank " +
             std::to_string(rank_),
         /*src=*/-1, rank_);
   }
-  return c.result;  // copy: every rank gets the full set
+  return result;
+}
+
+std::vector<std::vector<std::byte>> RankCtx::exchange_all(
+    std::vector<std::byte> contribution, double modeled_cost,
+    const char* label) {
+  CollRequest req = ipost_exchange(std::move(contribution), modeled_cost,
+                                   label, CommAlgo::kTree);
+  return wait_exchange(req);
 }
 
 void RankCtx::barrier() {
@@ -242,20 +358,33 @@ void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
   buf = std::move(all[root]);
 }
 
-std::vector<double> RankCtx::allreduce_sum(std::vector<double> local) {
-  std::vector<std::byte> b(local.size() * sizeof(double));
-  std::memcpy(b.data(), local.data(), b.size());
-  auto all = exchange_all(std::move(b),
-                          world_->cost_.allreduce(world_->nranks_,
-                                                  local.size() * sizeof(double)),
-                          "allreduce");
-  std::vector<double> out(local.size(), 0.0);
+CollRequest RankCtx::iallreduce_sum(std::vector<double> local) {
+  const std::size_t nbytes = local.size() * sizeof(double);
+  CommAlgo algo = CommAlgo::kTree;
+  const double cost =
+      world_->cost_.coll_allreduce(world_->nranks_, nbytes, &algo);
+  std::vector<std::byte> b(nbytes);
+  std::memcpy(b.data(), local.data(), nbytes);
+  CollRequest req = ipost_exchange(std::move(b), cost, "allreduce", algo);
+  req.elems_ = local.size();
+  return req;
+}
+
+std::vector<double> RankCtx::wait_allreduce_sum(CollRequest& req) {
+  const std::size_t elems = req.elems_;
+  auto all = wait_exchange(req);
+  std::vector<double> out(elems, 0.0);
   for (const auto& blob : all) {
     const double* v = reinterpret_cast<const double*>(blob.data());
     const std::size_t n = blob.size() / sizeof(double);
     for (std::size_t i = 0; i < n && i < out.size(); ++i) out[i] += v[i];
   }
   return out;
+}
+
+std::vector<double> RankCtx::allreduce_sum(std::vector<double> local) {
+  CollRequest req = iallreduce_sum(std::move(local));
+  return wait_allreduce_sum(req);
 }
 
 double RankCtx::allreduce_sum(double x) {
@@ -265,9 +394,11 @@ double RankCtx::allreduce_sum(double x) {
 double RankCtx::allreduce_max(double x) {
   std::vector<std::byte> b(sizeof(double));
   std::memcpy(b.data(), &x, sizeof(double));
-  auto all = exchange_all(std::move(b),
-                          world_->cost_.allreduce(world_->nranks_, sizeof(double)),
-                          "allreduce");
+  CommAlgo algo = CommAlgo::kTree;
+  const double cost =
+      world_->cost_.coll_allreduce(world_->nranks_, sizeof(double), &algo);
+  CollRequest req = ipost_exchange(std::move(b), cost, "allreduce", algo);
+  auto all = wait_exchange(req);
   double mx = x;
   for (const auto& blob : all) {
     double v;
@@ -281,14 +412,20 @@ long long RankCtx::allreduce_max(long long x) {
   return static_cast<long long>(allreduce_max(static_cast<double>(x)));
 }
 
-std::vector<double> RankCtx::allgatherv(const std::vector<double>& local) {
-  std::vector<std::byte> b(local.size() * sizeof(double));
-  std::memcpy(b.data(), local.data(), b.size());
+CollRequest RankCtx::iallgatherv(const std::vector<double>& local) {
+  const std::size_t nbytes = local.size() * sizeof(double);
+  std::vector<std::byte> b(nbytes);
+  std::memcpy(b.data(), local.data(), nbytes);
   // Total volume is only known post-exchange; approximate with P * local
   // size, which is exact for the uniform distributions used here.
-  const double cost = world_->cost_.allgather(
-      world_->nranks_, world_->nranks_ * local.size() * sizeof(double));
-  auto all = exchange_all(std::move(b), cost, "allgatherv");
+  CommAlgo algo = CommAlgo::kTree;
+  const double cost = world_->cost_.coll_allgather(
+      world_->nranks_, world_->nranks_ * nbytes, &algo);
+  return ipost_exchange(std::move(b), cost, "allgatherv", algo);
+}
+
+std::vector<double> RankCtx::wait_allgatherv(CollRequest& req) {
+  auto all = wait_exchange(req);
   std::vector<double> out;
   for (const auto& blob : all) {
     const double* v = reinterpret_cast<const double*>(blob.data());
@@ -297,14 +434,19 @@ std::vector<double> RankCtx::allgatherv(const std::vector<double>& local) {
   return out;
 }
 
+std::vector<double> RankCtx::allgatherv(const std::vector<double>& local) {
+  CollRequest req = iallgatherv(local);
+  return wait_allgatherv(req);
+}
+
 std::vector<long long> RankCtx::allgather(long long x) {
   std::vector<std::byte> b(sizeof(long long));
   std::memcpy(b.data(), &x, sizeof(long long));
-  auto all = exchange_all(
-      std::move(b),
-      world_->cost_.allgather(world_->nranks_,
-                              world_->nranks_ * sizeof(long long)),
-      "allgather");
+  CommAlgo algo = CommAlgo::kTree;
+  const double cost = world_->cost_.coll_allgather(
+      world_->nranks_, world_->nranks_ * sizeof(long long), &algo);
+  CollRequest req = ipost_exchange(std::move(b), cost, "allgather", algo);
+  auto all = wait_exchange(req);
   std::vector<long long> out;
   out.reserve(all.size());
   for (const auto& blob : all) {
@@ -317,9 +459,7 @@ std::vector<long long> RankCtx::allgather(long long x) {
 
 SimWorld::SimWorld(int nranks, CostModel cm)
     : mailbox_(static_cast<std::size_t>(nranks) * nranks),
-      nranks_(nranks), cost_(cm) {
-  coll_.contrib.assign(static_cast<std::size_t>(nranks), {});
-}
+      nranks_(nranks), cost_(cm) {}
 
 SimWorld::SimWorld(int nranks, const SimOptions& opts)
     : SimWorld(nranks, opts.cost) {
@@ -344,21 +484,15 @@ void SimWorld::abort_run() {
 
 void SimWorld::run(const std::function<void(RankCtx&)>& body) {
   // Reset per-run state (an aborted previous run may have stranded mail and
-  // a half-arrived collective generation).
+  // half-arrived collective generations).
   aborted_.store(false);
   for (Mailbox& box : mailbox_) {
     box.per_src_queue.clear();
     box.depth_hwm = 0;
+    box.send_seq.clear();
+    box.recv_ticket.clear();
   }
-  coll_.generation = 0;
-  coll_.arrived = 0;
-  coll_.vt_max = 0.0;
-  coll_.cost_max = 0.0;
-  coll_.vt_out = 0.0;
-  coll_.corrupt = false;
-  coll_.result_corrupt = false;
-  coll_.contrib.assign(static_cast<std::size_t>(nranks_), {});
-  coll_.result.clear();
+  coll_.gens.clear();
   trace_bufs_.clear();
   if (tracing_) trace_bufs_.resize(static_cast<std::size_t>(nranks_));
 

@@ -15,12 +15,27 @@
 // This substitutes for the MPI cluster of the paper: strong-scaling curves
 // are read off the final virtual clocks. See DESIGN.md.
 //
+// Nonblocking semantics (isend/irecv/wait and the i-collectives): posting
+// never blocks and never advances the clock beyond the sender-side injection
+// latency; only completion (wait/waitall/test success) advances the clock,
+// to max(own clock, message arrival) for p2p and max(own clock, collective
+// finish) for collectives. A collective's finish time is computed from the
+// ranks' *post-time* clocks, so compute performed between post and wait
+// genuinely overlaps the modeled transfer — that is the modeled win the
+// overlap counters report. Messages are matched per (src, tag) in post
+// order: the k-th receive posted for a (src, tag) stream completes with the
+// k-th message sent on it, so waitall is permutation-invariant and blocking
+// recv (= irecv + wait) keeps its FIFO semantics. Fault hooks (delay, dup,
+// flip, straggle) are decided at post time on the same deterministic
+// decision streams as the blocking paths.
+//
 // Observability (src/obs): every rank always carries comm counters (integer
 // increments outside the timed regions — they cannot perturb the clocks),
 // and SimWorld::enable_tracing() additionally records compute/p2p/collective
-// spans stamped with virtual begin/end times for Chrome-trace export. With
-// tracing disabled the hooks reduce to a null-pointer check and the
-// virtual-clock arithmetic is bit-identical to the uninstrumented runtime.
+// spans stamped with virtual begin/end times for Chrome-trace export;
+// request spans run from post to completion. With tracing disabled the hooks
+// reduce to a null-pointer check and the virtual-clock arithmetic is
+// bit-identical to the uninstrumented runtime.
 //
 // Interaction with the shared-memory ThreadPool (par/pool.hpp): SimWorld
 // pins a ThreadPool::ScopedSerial guard on every rank thread, so kernels
@@ -30,6 +45,7 @@
 // sequential engine. Consequence: virtual-time results are independent of
 // --threads / LRA_NUM_THREADS.
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -52,6 +68,7 @@
 namespace lra {
 
 class SimWorld;
+class RankCtx;
 
 /// Bundled configuration of a SimWorld-backed run: the alpha-beta cost
 /// model, event tracing, and an optional deterministic fault plan
@@ -62,6 +79,79 @@ struct SimOptions {
   CostModel cost{};
   bool collect_trace = false;
   sim::FaultPlan faults{};  // faults.enabled() == false -> no fault layer
+};
+
+/// Handle for a nonblocking point-to-point operation. Move-only value type;
+/// pass it back to the RankCtx that issued it (wait/waitall/test). A send
+/// request is already complete when isend returns (buffered send: the
+/// payload left the caller at post time); a receive request completes when
+/// its matching message is consumed, which is also when the payload becomes
+/// readable through data()/take().
+class SimRequest {
+ public:
+  SimRequest() = default;
+
+  bool valid() const { return kind_ != Kind::kNone; }
+  bool completed() const { return done_; }
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+  /// Virtual clock of the issuing rank when the request was posted.
+  double post_vtime() const { return post_vtime_; }
+  /// Virtual clock at completion (meaningful once completed()).
+  double complete_vtime() const { return complete_vtime_; }
+
+  /// Payload of a completed receive (empty for sends).
+  const std::vector<std::byte>& data() const { return data_; }
+  std::vector<std::byte> take_data() { return std::move(data_); }
+  template <typename T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> v(data_.size() / sizeof(T));
+    std::memcpy(v.data(), data_.data(), v.size() * sizeof(T));
+    data_.clear();
+    return v;
+  }
+
+ private:
+  friend class RankCtx;
+  enum class Kind { kNone, kSend, kRecv };
+
+  Kind kind_ = Kind::kNone;
+  int peer_ = -1;
+  int tag_ = 0;
+  std::uint64_t ticket_ = 0;  // per-(src,tag) match sequence (receives)
+  double post_vtime_ = 0.0;
+  double complete_vtime_ = 0.0;
+  bool done_ = false;
+  std::vector<std::byte> data_;
+};
+
+/// Handle for a nonblocking collective (iallreduce_sum / iallgatherv / the
+/// generic iexchange posted by RankCtx). Completed by the matching wait_*
+/// call on the issuing rank. All ranks must post collectives in the same
+/// program order — the i-th collective posted on every rank forms one
+/// world-wide operation — but each rank may compute freely between its post
+/// and its wait.
+class CollRequest {
+ public:
+  CollRequest() = default;
+  bool valid() const { return gen_ >= 0; }
+  bool completed() const { return done_; }
+  double post_vtime() const { return post_vtime_; }
+  double complete_vtime() const { return complete_vtime_; }
+  /// Algorithm the cost model chose for this operation.
+  CommAlgo algo() const { return algo_; }
+
+ private:
+  friend class RankCtx;
+  long gen_ = -1;  // world-wide collective generation index
+  double post_vtime_ = 0.0;
+  double complete_vtime_ = 0.0;
+  std::size_t nbytes_ = 0;  // local contribution size (counters)
+  std::size_t elems_ = 0;   // element count for typed waits
+  const char* label_ = "";
+  CommAlgo algo_ = CommAlgo::kTree;
+  bool done_ = false;
 };
 
 /// Per-rank execution context handed to the SPMD body.
@@ -155,6 +245,40 @@ class RankCtx {
     return v;
   }
 
+  // --- nonblocking point-to-point ---
+  //
+  // isend is a buffered send: the payload is enqueued at post time with the
+  // sender-side injection latency (alpha) charged immediately, so the
+  // request is born complete and wait() on it is free — `isend; wait` is
+  // bit-identical to send_bytes. irecv registers a match ticket for the
+  // next message on the (src, tag) stream without touching the clock; the
+  // clock advances only when wait/waitall/test consumes the message.
+
+  SimRequest isend_bytes(int dst, std::vector<std::byte> data, int tag = 0);
+  SimRequest irecv_bytes(int src, int tag = 0);
+  template <typename T>
+  SimRequest isend(int dst, const std::vector<T>& v, int tag = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> b(v.size() * sizeof(T));
+    std::memcpy(b.data(), v.data(), b.size());
+    return isend_bytes(dst, std::move(b), tag);
+  }
+  /// Typed receive: post with irecv_bytes, read with req.take<T>() after
+  /// the wait.
+
+  /// Block until `req` completes; returns the payload (empty for sends) and
+  /// advances the clock to max(own clock, arrival). Idempotent on completed
+  /// requests (returns whatever payload is still held).
+  std::vector<std::byte> wait(SimRequest& req);
+  /// Complete every request; payloads stay in the requests (data()/take()).
+  /// Equivalent to waiting in any order — completion clocks are max-folds,
+  /// so the final clock is permutation-invariant.
+  void waitall(std::vector<SimRequest>& reqs);
+  /// Try to complete `req` without blocking: true (and the clock advance +
+  /// payload delivery of wait) if the message is available, false with the
+  /// clock untouched otherwise. Sends always test true.
+  bool test(SimRequest& req);
+
   // --- collectives (all ranks must call in the same order) ---
 
   /// Synchronize all ranks' virtual clocks to the max at entry.
@@ -178,6 +302,19 @@ class RankCtx {
   std::vector<double> allgatherv(const std::vector<double>& local);
   std::vector<long long> allgather(long long x);
 
+  // --- nonblocking collectives ---
+  //
+  // Post now, compute, wait later. The collective's finish time is
+  // max(post-time clocks) + modeled cost, so compute between post and wait
+  // overlaps the modeled transfer; the wait advances the clock to
+  // max(own clock, finish). The blocking forms above are post + immediate
+  // wait, bit-identical to the pre-nonblocking runtime.
+
+  CollRequest iallreduce_sum(std::vector<double> local);
+  std::vector<double> wait_allreduce_sum(CollRequest& req);
+  CollRequest iallgatherv(const std::vector<double>& local);
+  std::vector<double> wait_allgatherv(CollRequest& req);
+
   /// Per-kernel accumulated seconds on this rank.
   const std::map<std::string, double>& kernel_times() const {
     return kernel_time_;
@@ -189,6 +326,26 @@ class RankCtx {
  private:
   friend class SimWorld;
   RankCtx(SimWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  /// Post a contribution to the next collective generation; does not block
+  /// and does not advance the clock. The typed i-collectives and the
+  /// blocking exchange_all are built on this.
+  CollRequest ipost_exchange(std::vector<std::byte> contribution,
+                             double modeled_cost, const char* label,
+                             CommAlgo algo);
+  /// Block until the request's generation completes; synchronizes the clock
+  /// and returns every rank's contribution.
+  std::vector<std::vector<std::byte>> wait_exchange(CollRequest& req);
+
+  /// Scan the request's mailbox (lock held by `lock`) for its matching
+  /// message; on a hit consume it — clock advance, counters, checksum
+  /// verification — releasing the lock, storing the payload in the request,
+  /// and returning true. Injected duplicate copies encountered during the
+  /// scan are dropped on sight, as in the blocking path.
+  bool try_complete_recv(SimRequest& req, std::unique_lock<std::mutex>& lock);
+  /// Block until `req` completes, leaving the payload in the request
+  /// (wait/waitall are thin wrappers).
+  void wait_complete(SimRequest& req);
 
   /// Record a compute span ending at the current virtual clock. Runs after
   /// the CPU-time measurement window closes, so tracing never inflates the
@@ -209,6 +366,18 @@ class RankCtx {
       trace_->span(name, obs::SpanCat::kFault, vclock_, vclock_, bytes, peer);
   }
 
+  /// Overlap reclaimed by a request completing at clock `v_entry` (the
+  /// rank's clock when the wait began) for work in flight since `post`
+  /// finishing at `avail`: the stretch of [post, avail] the rank spent
+  /// computing instead of blocked.
+  void record_overlap(double post, double v_entry, double avail) {
+    const double ov = std::min(v_entry, avail) - post;
+    if (ov > 0.0) {
+      counters_.overlap_seconds += ov;
+      counters_.overlapped_requests += 1;
+    }
+  }
+
   SimWorld* world_;
   int rank_;
   double vclock_ = 0.0;
@@ -219,6 +388,7 @@ class RankCtx {
   // plan is installed).
   std::vector<std::uint64_t> p2p_seq_;
   std::uint64_t coll_seq_ = 0;
+  long coll_gen_ = 0;  // program-order index of this rank's collective posts
   obs::CommCounters counters_;
   obs::RankTrace* trace_ = nullptr;  // null = tracing disabled
 };
@@ -291,6 +461,7 @@ class SimWorld {
     int tag;
     std::vector<std::byte> data;
     double arrival_vtime;  // sender's clock at send + transfer cost
+    std::uint64_t seq = 0; // per-(src,tag) send sequence (irecv matching)
     // Fault-layer transport metadata (only meaningful when a plan is
     // installed; zero-initialized otherwise).
     std::uint64_t checksum = 0;  // FNV-1a of the payload *before* any flip
@@ -302,22 +473,34 @@ class SimWorld {
     std::condition_variable cv;
     std::deque<Message> per_src_queue;  // indexed externally by (src)
     std::size_t depth_hwm = 0;          // high-water mark, guarded by mu
+    // Per-tag match sequencing, guarded by mu: send_seq stamps messages in
+    // enqueue order; recv_ticket hands the next expected stamp to each
+    // posted receive. Pairing the k-th receive with the k-th send keeps
+    // per-(src,tag) FIFO order under any wait interleaving.
+    std::map<int, std::uint64_t> send_seq;
+    std::map<int, std::uint64_t> recv_ticket;
   };
   // mailbox_[dst * nranks + src]
   std::vector<Mailbox> mailbox_;
 
+  // One in-flight collective "generation" (the i-th collective posted by
+  // every rank). Kept in a map so ranks may post generation g+1 before
+  // generation g has been waited on; an entry dies once all ranks consumed
+  // its result.
+  struct CollGen {
+    int arrived = 0;
+    int consumed = 0;
+    double vt_max = 0.0;    // max over post-time clocks
+    double cost_max = 0.0;  // max over modeled costs (fault delays included)
+    double vt_out = 0.0;    // vt_max + cost_max, set when the last rank posts
+    bool done = false;
+    bool corrupt = false;  // flip injected into this generation
+    std::vector<std::vector<std::byte>> contrib;
+  };
   struct CollectiveCtx {
     std::mutex mu;
     std::condition_variable cv;
-    long generation = 0;
-    int arrived = 0;
-    double vt_max = 0.0;
-    std::vector<std::vector<std::byte>> contrib;
-    std::vector<std::vector<std::byte>> result;  // snapshot for readers
-    double vt_out = 0.0;
-    double cost_max = 0.0;
-    bool corrupt = false;         // flip injected into the current generation
-    bool result_corrupt = false;  // flip flag snapshot for the last result
+    std::map<long, CollGen> gens;
   } coll_;
 
   /// Tear the world down: mark aborted and wake every blocked rank so the

@@ -29,15 +29,27 @@ CandidateColumns qr_tp_dist(RankCtx& ctx, const CandidateColumns& local,
   CandidateColumns mine =
       ctx.compute(kernel, [&] { return local_winners(local, k); });
 
-  // Stage 2: binary reduction tree (pairs at stride 1, 2, 4, ...).
+  // Stage 2: binary reduction tree (pairs at stride 1, 2, 4, ...). The
+  // schedule is static, so a receiver posts every round's panel receive up
+  // front and only waits when the merge needs the data: the stride-s merge
+  // overlaps the stride-2s panel's modeled transfer.
   const int p = ctx.size();
   const int r = ctx.rank();
+  std::vector<SimRequest> pending;
   for (int stride = 1; stride < p; stride *= 2) {
     if (r % (2 * stride) == 0) {
-      const int partner = r + stride;
-      if (partner < p) {
+      if (r + stride < p)
+        pending.push_back(ctx.irecv_bytes(r + stride, kTagTournament));
+    } else if (r % (2 * stride) == stride) {
+      break;
+    }
+  }
+  std::size_t round = 0;
+  for (int stride = 1; stride < p; stride *= 2) {
+    if (r % (2 * stride) == 0) {
+      if (r + stride < p) {
         const CandidateColumns theirs =
-            unpack_candidates(ctx.recv_bytes(partner, kTagTournament));
+            unpack_candidates(ctx.wait(pending[round++]));
         mine = ctx.compute(kernel, [&] {
           return local_winners(merge(mine, theirs), k);
         });
@@ -103,15 +115,27 @@ std::vector<Index> qr_tp_rows_dist(RankCtx& ctx, const Matrix& q_local,
     }
   }
 
+  // Same static-schedule overlap as qr_tp_dist: post all panel receives
+  // before the first merge round.
   const int p = ctx.size();
   const int r = ctx.rank();
+  std::vector<SimRequest> pending;
+  for (int stride = 1; stride < p; stride *= 2) {
+    if (r % (2 * stride) == 0) {
+      if (r + stride < p)
+        pending.push_back(ctx.irecv_bytes(r + stride, kTagTournament));
+    } else if (r % (2 * stride) == stride) {
+      break;
+    }
+  }
+  std::size_t round = 0;
   for (int stride = 1; stride < p; stride *= 2) {
     if (r % (2 * stride) == 0) {
       const int partner = r + stride;
       if (partner < p) {
         std::vector<Index> their_ids;
         Matrix their_rows;
-        unpack(ctx.recv_bytes(partner, kTagTournament), their_ids, their_rows);
+        unpack(ctx.wait(pending[round++]), their_ids, their_rows);
         ctx.compute(kernel, [&] {
           std::vector<Index> ids = win;
           ids.insert(ids.end(), their_ids.begin(), their_ids.end());

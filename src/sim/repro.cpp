@@ -120,6 +120,7 @@ std::string to_json(const ReproConfig& c) {
       .field("nranks", c.nranks)
       .field("alpha", c.cost.alpha)
       .field("beta", c.cost.beta)
+      .field("comm_algo", to_string(c.cost.comm_algo))
       .field("faults", c.faults);
   return o.str();
 }
@@ -151,6 +152,9 @@ ReproConfig repro_from_json(const std::string& json) {
       c.cost.alpha = to_double(key, v);
     } else if (key == "beta") {
       c.cost.beta = to_double(key, v);
+    } else if (key == "comm_algo") {
+      if (!parse_comm_algo(v, &c.cost.comm_algo))
+        malformed("comm_algo must be tree|ring|auto, got \"" + v + "\"");
     } else if (key == "faults") {
       c.faults = v;
     } else {

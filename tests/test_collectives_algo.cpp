@@ -1,0 +1,299 @@
+// Algorithm-aware collectives: tree vs ring cost formulas, the auto
+// crossover, and the guarantee that the algorithm choice changes only the
+// modeled cost — the rendezvous exchange moves every contribution either
+// way, so payloads are bitwise-identical under tree, ring, and auto.
+
+#include "par/cost_model.hpp"
+#include "par/simcomm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lra {
+namespace {
+
+TEST(CollectiveCost, FormulasMatchTheirDefinitions) {
+  const CostModel cm;
+  // Tree: full payload on every hop; 2*ceil(log2 P) hops for allreduce,
+  // ceil(log2 P) for allgather.
+  EXPECT_EQ(cm.tree_allreduce(4, 100), 2.0 * 2.0 * cm.p2p(100));
+  EXPECT_EQ(cm.tree_allreduce(5, 100), 2.0 * 3.0 * cm.p2p(100));
+  EXPECT_EQ(cm.tree_allgather(8, 640), 3.0 * cm.p2p(640));
+  // Ring: P-1 (allgather) or 2(P-1) (allreduce) hops of ceil(B/P) segments.
+  EXPECT_EQ(cm.ring_allreduce(4, 100), 2.0 * 3.0 * cm.p2p(25));
+  EXPECT_EQ(cm.ring_allreduce(3, 100), 2.0 * 2.0 * cm.p2p(34));  // ceil
+  EXPECT_EQ(cm.ring_allgather(8, 640), 7.0 * cm.p2p(80));
+  EXPECT_EQ(cm.ring_allgather(3, 1), 2.0 * cm.p2p(1));  // ceil(1/3) = 1
+}
+
+TEST(CollectiveCost, DegenerateWorldsAreFree) {
+  const CostModel cm;
+  for (const int p : {0, 1}) {
+    EXPECT_EQ(cm.tree_allreduce(p, 4096), 0.0);
+    EXPECT_EQ(cm.tree_allgather(p, 4096), 0.0);
+    EXPECT_EQ(cm.ring_allreduce(p, 4096), 0.0);
+    EXPECT_EQ(cm.ring_allgather(p, 4096), 0.0);
+  }
+}
+
+TEST(CollectiveCost, ParseAndPrintRoundTrip) {
+  CommAlgo a = CommAlgo::kTree;
+  EXPECT_TRUE(parse_comm_algo("ring", &a));
+  EXPECT_EQ(a, CommAlgo::kRing);
+  EXPECT_TRUE(parse_comm_algo("auto", &a));
+  EXPECT_EQ(a, CommAlgo::kAuto);
+  EXPECT_TRUE(parse_comm_algo("tree", &a));
+  EXPECT_EQ(a, CommAlgo::kTree);
+  for (const char* bad : {"", "Tree", "rings", "binomial", "0"}) {
+    a = CommAlgo::kRing;
+    EXPECT_FALSE(parse_comm_algo(bad, &a)) << bad;
+    EXPECT_EQ(a, CommAlgo::kRing) << "*out must stay untouched for " << bad;
+  }
+  EXPECT_STREQ(to_string(CommAlgo::kTree), "tree");
+  EXPECT_STREQ(to_string(CommAlgo::kRing), "ring");
+  EXPECT_STREQ(to_string(CommAlgo::kAuto), "auto");
+}
+
+TEST(CollectiveCost, ResolveHonorsForcedAlgosAndAutoCutoff) {
+  CostModel cm;
+  // Forced algorithms resolve verbatim, even on degenerate worlds (the
+  // formulas are 0 there, but the counters still record the request).
+  cm.comm_algo = CommAlgo::kRing;
+  EXPECT_EQ(cm.resolve(1, 1 << 20), CommAlgo::kRing);
+  EXPECT_EQ(cm.resolve(8, 0), CommAlgo::kRing);
+  cm.comm_algo = CommAlgo::kTree;
+  EXPECT_EQ(cm.resolve(8, 1 << 20), CommAlgo::kTree);
+  // Auto: tree below the cutoff, ring at and above it, tree when P <= 1.
+  cm.comm_algo = CommAlgo::kAuto;
+  EXPECT_EQ(cm.resolve(4, cm.ring_cutoff_bytes - 1), CommAlgo::kTree);
+  EXPECT_EQ(cm.resolve(4, cm.ring_cutoff_bytes), CommAlgo::kRing);
+  EXPECT_EQ(cm.resolve(4, cm.ring_cutoff_bytes + 1), CommAlgo::kRing);
+  EXPECT_EQ(cm.resolve(1, 1 << 20), CommAlgo::kTree);
+}
+
+TEST(CollectiveCost, MonotoneInPayloadPerAlgorithmAndUnderAuto) {
+  const std::vector<std::size_t> sizes{0, 8, 64, 512, 1023, 1024,
+                                       1025, 4096, 65536};
+  for (const int p : {2, 3, 4, 8}) {
+    for (const CommAlgo algo : {CommAlgo::kTree, CommAlgo::kRing}) {
+      CostModel cm;
+      cm.comm_algo = algo;
+      double prev_r = -1.0, prev_g = -1.0;
+      for (const std::size_t b : sizes) {
+        const double r = cm.coll_allreduce(p, b);
+        const double g = cm.coll_allgather(p, b);
+        EXPECT_GE(r, prev_r) << to_string(algo) << " P=" << p << " B=" << b;
+        EXPECT_GE(g, prev_g) << to_string(algo) << " P=" << p << " B=" << b;
+        prev_r = r;
+        prev_g = g;
+      }
+    }
+  }
+  // The default cutoff sits below the analytic crossover for P >= 4, so
+  // auto's cost stays monotone straight through the tree -> ring switch.
+  for (const int p : {4, 8}) {
+    CostModel cm;
+    cm.comm_algo = CommAlgo::kAuto;
+    double prev = -1.0;
+    for (const std::size_t b : sizes) {
+      const double c = cm.coll_allreduce(p, b);
+      EXPECT_GE(c, prev) << "auto P=" << p << " B=" << b;
+      prev = c;
+    }
+  }
+  // And the point of ring: at large payloads it never costs more than tree.
+  for (const int p : {2, 3, 4, 8}) {
+    const CostModel cm;
+    EXPECT_LE(cm.ring_allreduce(p, 65536), cm.tree_allreduce(p, 65536));
+    EXPECT_LE(cm.ring_allgather(p, 65536), cm.tree_allgather(p, 65536));
+  }
+}
+
+// --- payload equivalence in the runtime -------------------------------------
+
+struct CollOutputs {
+  std::vector<std::vector<double>> reduced;   // per rank
+  std::vector<std::vector<double>> gathered;  // per rank
+  double elapsed = 0.0;
+};
+
+/// Contribution of `len` doubles from `rank`, deterministic and rank-unique.
+std::vector<double> contribution(int rank, std::size_t len) {
+  std::vector<double> v(len);
+  for (std::size_t i = 0; i < len; ++i)
+    v[i] = 0.5 * static_cast<double>(rank + 1) +
+           0.25 * static_cast<double>(i % 7);
+  return v;
+}
+
+CollOutputs run_collectives(int nranks, CommAlgo algo, std::size_t len) {
+  CostModel cm;
+  cm.comm_algo = algo;
+  SimWorld w(nranks, cm);
+  CollOutputs out;
+  out.reduced.resize(static_cast<std::size_t>(nranks));
+  out.gathered.resize(static_cast<std::size_t>(nranks));
+  w.run([&](RankCtx& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    out.reduced[r] = ctx.allreduce_sum(contribution(ctx.rank(), len));
+    out.gathered[r] = ctx.allgatherv(contribution(ctx.rank(), len));
+  });
+  EXPECT_EQ(w.comm_stats().check_invariants(), "")
+      << to_string(algo) << " P=" << nranks << " len=" << len;
+  out.elapsed = w.elapsed_virtual();
+  return out;
+}
+
+TEST(CollectiveAlgo, RingTreeAndAutoMovePayloadsIdentically) {
+  // Empty, length-1, non-divisible-by-P, and large (past the auto cutoff)
+  // payloads: every algorithm must deliver bitwise-identical results on
+  // every rank; only the modeled clocks may differ.
+  for (const int p : {1, 2, 3, 4, 8}) {
+    for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{5}, std::size_t{1000}}) {
+      const CollOutputs tree = run_collectives(p, CommAlgo::kTree, len);
+      const CollOutputs ring = run_collectives(p, CommAlgo::kRing, len);
+      const CollOutputs aut = run_collectives(p, CommAlgo::kAuto, len);
+      for (int r = 0; r < p; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        EXPECT_EQ(tree.reduced[rr], ring.reduced[rr])
+            << "P=" << p << " len=" << len << " rank=" << r;
+        EXPECT_EQ(tree.reduced[rr], aut.reduced[rr])
+            << "P=" << p << " len=" << len << " rank=" << r;
+        EXPECT_EQ(tree.gathered[rr], ring.gathered[rr])
+            << "P=" << p << " len=" << len << " rank=" << r;
+        EXPECT_EQ(tree.gathered[rr], aut.gathered[rr])
+            << "P=" << p << " len=" << len << " rank=" << r;
+      }
+      // Spot-check the semantics too: allgatherv concatenates in rank order.
+      std::vector<double> expect_gather;
+      for (int r = 0; r < p; ++r)
+        for (const double v : contribution(r, len)) expect_gather.push_back(v);
+      EXPECT_EQ(tree.gathered[0], expect_gather) << "P=" << p << " len=" << len;
+    }
+  }
+}
+
+TEST(CollectiveAlgo, AutoCrossoverPicksRingAbovetheCutoffOnly) {
+  CostModel cm;
+  cm.comm_algo = CommAlgo::kAuto;
+  SimWorld w(4, cm);
+  w.run([&](RankCtx& ctx) {
+    // 16 doubles = 128 bytes < 1024: tree. 200 doubles = 1600 bytes: ring.
+    (void)ctx.allreduce_sum(contribution(ctx.rank(), 16));
+    (void)ctx.allreduce_sum(contribution(ctx.rank(), 200));
+    // allgatherv resolves on the total: 4 * 24 = 96 bytes -> tree,
+    // 4 * 800 = 3200 bytes -> ring.
+    (void)ctx.allgatherv(contribution(ctx.rank(), 3));
+    (void)ctx.allgatherv(contribution(ctx.rank(), 100));
+  });
+  ASSERT_EQ(w.comm_stats().check_invariants(), "");
+  for (const auto& c : w.comm_stats().per_rank) {
+    EXPECT_EQ(c.collective_algo_calls.at("tree"), 2u);
+    EXPECT_EQ(c.collective_algo_calls.at("ring"), 2u);
+  }
+}
+
+TEST(CollectiveAlgo, ForcedRingIsCheaperOnLargePayloads) {
+  // End-to-end analog of the Fig. 4 bench smoke: a large-payload collective
+  // program finishes no later under ring than under tree. All clock charges
+  // are modeled (no measured CPU), so the comparison is deterministic.
+  auto run = [](CommAlgo algo) {
+    CostModel cm;
+    cm.comm_algo = algo;
+    SimWorld w(8, cm);
+    w.run([](RankCtx& ctx) {
+      for (int i = 0; i < 4; ++i) {
+        (void)ctx.allreduce_sum(contribution(ctx.rank(), 4096));
+        (void)ctx.allgatherv(contribution(ctx.rank(), 2048));
+      }
+    });
+    return w.elapsed_virtual();
+  };
+  EXPECT_LE(run(CommAlgo::kRing), run(CommAlgo::kTree));
+}
+
+// --- nonblocking collective semantics ---------------------------------------
+
+TEST(CollectiveNb, FinishTimeComesFromPostClocksAndOverlapIsCredited) {
+  // Rank r enters the iallreduce at clock r (modeled charges), computes
+  // 0.25 s between post and wait. Finish = max post clocks + cost = 2 + cost
+  // with cost << 0.25, so:
+  //   * ranks 0 and 1 reach their wait before the finish: their whole 0.25 s
+  //     window overlaps the transfer up to the finish time, and they leave
+  //     the wait at exactly 2 + cost;
+  //   * rank 2 (last poster) overlaps only the transfer itself (cost) and
+  //     its clock stays at 2.25.
+  const CostModel cm;
+  const double cost = cm.coll_allreduce(3, sizeof(double));
+  ASSERT_GT(cost, 0.0);
+  ASSERT_LT(cost, 0.25);
+  const double vt_out = 2.0 + cost;  // same fl(+) as the runtime's finish
+  std::vector<double> clocks(3, -1.0);
+  SimWorld w(3);
+  w.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    ctx.charge(static_cast<double>(r));
+    CollRequest req = ctx.iallreduce_sum({static_cast<double>(r)});
+    if (req.completed()) throw std::runtime_error("complete before wait");
+    if (req.algo() != CommAlgo::kTree)
+      throw std::runtime_error("unexpected algorithm");
+    ctx.charge(0.25);
+    const std::vector<double> sum = ctx.wait_allreduce_sum(req);
+    if (!req.completed()) throw std::runtime_error("incomplete after wait");
+    if (sum != std::vector<double>{3.0})  // 0 + 1 + 2
+      throw std::runtime_error("wrong allreduce sum");
+    clocks[static_cast<std::size_t>(r)] = ctx.vtime();
+  });
+  ASSERT_EQ(w.comm_stats().check_invariants(), "");
+  EXPECT_EQ(clocks[0], vt_out);
+  EXPECT_EQ(clocks[1], vt_out);
+  EXPECT_EQ(clocks[2], 2.25);
+  for (int r = 0; r < 3; ++r) {
+    const obs::CommCounters& c =
+        w.comm_stats().per_rank[static_cast<std::size_t>(r)];
+    EXPECT_EQ(c.overlapped_requests, 1u) << "rank " << r;
+    // Ranks 0/1 overlap their whole 0.25 s window; rank 2's window extends
+    // past the finish, so only [post, vt_out] counts.
+    EXPECT_EQ(c.overlap_seconds, r < 2 ? 0.25 : vt_out - 2.0) << "rank " << r;
+    EXPECT_EQ(c.coll_seconds, cost) << "rank " << r;
+  }
+}
+
+TEST(CollectiveNb, BlockingFormEqualsPostPlusImmediateWait) {
+  auto run = [](bool nonblocking) {
+    std::vector<double> clocks(4, -1.0);
+    SimWorld w(4);
+    w.run([&](RankCtx& ctx) {
+      ctx.charge(1e-3 * static_cast<double>(ctx.rank() + 1));
+      std::vector<double> out;
+      if (nonblocking) {
+        CollRequest req = ctx.iallgatherv(contribution(ctx.rank(), 6));
+        out = ctx.wait_allgatherv(req);
+      } else {
+        out = ctx.allgatherv(contribution(ctx.rank(), 6));
+      }
+      if (out.size() != 24) throw std::runtime_error("bad gather length");
+      clocks[static_cast<std::size_t>(ctx.rank())] = ctx.vtime();
+    });
+    return clocks;
+  };
+  EXPECT_EQ(run(false), run(true));  // bitwise: same max-folds, same cost
+}
+
+TEST(CollectiveNb, DoubleWaitIsALogicError) {
+  SimWorld w(2);
+  EXPECT_THROW(w.run([](RankCtx& ctx) {
+    CollRequest req = ctx.iallreduce_sum({1.0});
+    (void)ctx.wait_allreduce_sum(req);
+    (void)ctx.wait_allreduce_sum(req);
+  }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace lra

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 
 #include "core/lu_crtp_dist.hpp"
@@ -145,6 +146,91 @@ TEST(Dist, KernelTimersCoverDetKernels) {
   }
   EXPECT_GT(total, 0.0);
 }
+
+// --- ring vs tree collective algorithms --------------------------------------
+
+bool same_dense(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::equal(a.data(), a.data() + a.size(), b.data());
+}
+
+bool same_csc(const CscMatrix& a, const CscMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         a.colptr() == b.colptr() && a.rowind() == b.rowind() &&
+         a.values() == b.values();
+}
+
+CostModel ring_model() {
+  CostModel cm;
+  cm.comm_algo = CommAlgo::kRing;
+  return cm;
+}
+
+class RingVsTree : public ::testing::TestWithParam<int> {};
+
+// The algorithm knob reroutes only the modeled cost — SimWorld's rendezvous
+// exchange moves every contribution under either schedule — so the factors,
+// the selected rank K, and every decision field must be bitwise identical.
+TEST_P(RingVsTree, LuAndIlutFactorsBitwiseIdentical) {
+  const CscMatrix a = test_matrix(200);
+  const int np = GetParam();
+  for (const ThresholdMode mode :
+       {ThresholdMode::kNone, ThresholdMode::kIlut}) {
+    LuCrtpOptions o;
+    o.block_size = 16;
+    o.tau = 1e-2;
+    o.threshold = mode;
+    const DistLuResult tree = lu_crtp_dist(a, o, np);
+    const DistLuResult ring = lu_crtp_dist(a, o, np, ring_model());
+    EXPECT_EQ(ring.result.status, tree.result.status);
+    EXPECT_EQ(ring.result.rank, tree.result.rank);
+    EXPECT_EQ(ring.result.iterations, tree.result.iterations);
+    EXPECT_EQ(ring.result.indicator, tree.result.indicator);
+    EXPECT_TRUE(same_csc(ring.result.l, tree.result.l));
+    EXPECT_TRUE(same_csc(ring.result.u, tree.result.u));
+    EXPECT_EQ(ring.result.row_perm, tree.result.row_perm);
+    EXPECT_EQ(ring.result.col_perm, tree.result.col_perm);
+    EXPECT_EQ(ring.comm.check_invariants(), "");
+  }
+}
+
+TEST_P(RingVsTree, RandQbFactorsBitwiseIdentical) {
+  const CscMatrix a = test_matrix(200);
+  const int np = GetParam();
+  RandQbOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  o.power = 1;
+  const DistRandQbResult tree = randqb_ei_dist(a, o, np);
+  const DistRandQbResult ring = randqb_ei_dist(a, o, np, ring_model());
+  EXPECT_EQ(ring.result.status, tree.result.status);
+  EXPECT_EQ(ring.result.rank, tree.result.rank);
+  EXPECT_EQ(ring.result.iterations, tree.result.iterations);
+  EXPECT_EQ(ring.result.indicator, tree.result.indicator);
+  EXPECT_TRUE(same_dense(ring.result.q, tree.result.q));
+  EXPECT_TRUE(same_dense(ring.result.b, tree.result.b));
+  EXPECT_EQ(ring.comm.check_invariants(), "");
+}
+
+TEST_P(RingVsTree, RandUbvFactorsBitwiseIdentical) {
+  const CscMatrix a = test_matrix(200);
+  const int np = GetParam();
+  RandUbvOptions o;
+  o.block_size = 16;
+  o.tau = 1e-2;
+  const DistRandUbvResult tree = randubv_dist(a, o, np);
+  const DistRandUbvResult ring = randubv_dist(a, o, np, ring_model());
+  EXPECT_EQ(ring.result.status, tree.result.status);
+  EXPECT_EQ(ring.result.rank, tree.result.rank);
+  EXPECT_EQ(ring.result.iterations, tree.result.iterations);
+  EXPECT_EQ(ring.result.indicator, tree.result.indicator);
+  EXPECT_TRUE(same_dense(ring.result.u, tree.result.u));
+  EXPECT_TRUE(same_dense(ring.result.b, tree.result.b));
+  EXPECT_TRUE(same_dense(ring.result.v, tree.result.v));
+  EXPECT_EQ(ring.comm.check_invariants(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(NumRanks, RingVsTree, ::testing::Values(2, 4, 8));
 
 // --- fault plans through the public dist-solver API --------------------------
 

@@ -55,6 +55,53 @@ INSTANTIATE_TEST_SUITE_P(
                                          Method::kIlutCrtp, Method::kRandUbv),
                        ::testing::Values("M1", "M2", "M4")));
 
+// Ring legs: the same differential checks (ExpectHonestBound on both
+// engines, comm invariants, benign-fault bitwise equality) with the ring
+// collective algorithm, clean and under a delay+dup plan. The rendezvous
+// exchange moves identical payloads under every algorithm, so nothing in
+// the oracle's tolerance set may widen.
+class RingOracleGrid : public ::testing::TestWithParam<Method> {};
+
+TEST_P(RingOracleGrid, RingCollectivesCleanAndUnderBenignFaults) {
+  ReproConfig c;
+  c.method = GetParam();
+  c.matrix = "M2";
+  c.scale = 0.25;
+  c.matrix_seed = 1;
+  c.tau = 1e-2;
+  c.block_size = 8;
+  c.power = 1;
+  c.solver_seed = 0x5eed;
+  c.nranks = 4;
+  c.cost.comm_algo = CommAlgo::kRing;
+  c.faults = "seed=9;delay=0.4:4;dup=0.3";
+  expect_oracle_passes(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ring, RingOracleGrid,
+                         ::testing::Values(Method::kRandQbEi, Method::kLuCrtp,
+                                           Method::kIlutCrtp,
+                                           Method::kRandUbv));
+
+TEST(OracleSingle, DupAndFlipSurfaceThroughInFlightRequests) {
+  // lu_crtp's distributed panels pre-post every partner irecv of the
+  // tournament reduction and park an indicator iallreduce in the shadow of
+  // the pivot recording, so duplicate copies are dropped and flips detected
+  // on *in-flight* SimRequests, not only on blocking receives. The oracle
+  // requires the flip stage to end in Status::kCommFault (or, if the
+  // decision streams injected nothing, bitwise equality with clean).
+  ReproConfig c;
+  c.method = Method::kLuCrtp;
+  c.matrix = "M1";
+  c.scale = 0.25;
+  c.tau = 1e-2;
+  c.block_size = 8;
+  c.nranks = 4;
+  c.cost.comm_algo = CommAlgo::kAuto;
+  c.faults = "seed=3;dup=0.6;flip=0.05";
+  expect_oracle_passes(c);
+}
+
 TEST(OracleSingle, TightToleranceAndOddRankCount) {
   ReproConfig c;
   c.method = Method::kLuCrtp;

@@ -113,6 +113,73 @@ TEST(SimComm, TagsAreRespected) {
   EXPECT_EQ(failures, 0);
 }
 
+TEST(SimComm, NegativeTagRoundTripsAndCountsLikePositive) {
+  // Regression: tags key the per-(src, tag) sequence maps directly, so a
+  // negative tag must flow through the exact same delivery and counting path
+  // as a positive one — blocking and nonblocking receives alike.
+  SimWorld w(2);
+  w.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send<double>(1, {4.5, 5.5}, /*tag=*/-3);
+      ctx.send<double>(1, {6.5}, /*tag=*/-7);
+    } else {
+      const auto v = ctx.recv<double>(0, /*tag=*/-3);
+      if (v.size() != 2 || v[0] != 4.5 || v[1] != 5.5)
+        throw std::runtime_error("negative-tag payload corrupted");
+      SimRequest r = ctx.irecv_bytes(0, /*tag=*/-7);
+      const std::vector<std::byte> b = ctx.wait(r);
+      double val = 0.0;
+      if (b.size() == sizeof(double)) std::memcpy(&val, b.data(), sizeof(val));
+      if (b.size() != sizeof(double) || val != 6.5)
+        throw std::runtime_error("negative-tag irecv payload corrupted");
+    }
+  });
+  const obs::CommStats& st = w.comm_stats();
+  EXPECT_EQ(st.per_rank[0].msgs_sent_to[1], 2u);
+  EXPECT_EQ(st.per_rank[1].msgs_recv_from[0], 2u);
+  EXPECT_EQ(st.per_rank[1].bytes_recv_from[0], 3 * sizeof(double));
+  EXPECT_EQ(st.check_invariants(), "");
+}
+
+TEST(CommCountersTest, SingleRankCollectivesCountLikeMultiRank) {
+  // Regression: a 1-rank world's collectives cost zero modeled seconds but
+  // must still increment the same call/byte/algorithm counters as at P > 1
+  // (they run through the same post + wait machinery).
+  SimWorld w(1);
+  w.run([](RankCtx& ctx) {
+    const auto g = ctx.allgatherv({1.0, 2.0});
+    if (g != std::vector<double>({1.0, 2.0}))
+      throw std::runtime_error("1-rank allgatherv is not the identity");
+    (void)ctx.allreduce_sum(3.0);
+    ctx.barrier();
+  });
+  const obs::CommCounters& c = w.comm_stats().per_rank[0];
+  EXPECT_EQ(c.collective_calls.at("allgatherv"), 1u);
+  EXPECT_EQ(c.collective_bytes.at("allgatherv"), 2 * sizeof(double));
+  EXPECT_EQ(c.collective_calls.at("allreduce"), 1u);
+  EXPECT_EQ(c.collective_calls.at("barrier"), 1u);
+  EXPECT_EQ(c.collective_algo_calls.at("tree"), 3u);
+  EXPECT_EQ(c.coll_seconds, 0.0);
+  EXPECT_EQ(w.elapsed_virtual(), 0.0);
+  EXPECT_EQ(w.comm_stats().check_invariants(), "");
+}
+
+TEST(CommCountersTest, SingleRankRingCollectivesCountTheAlgorithm) {
+  // Forced ring at P = 1 records "ring" completions with zero modeled cost —
+  // the counter reflects the configured algorithm, not a special case.
+  CostModel cm;
+  cm.comm_algo = CommAlgo::kRing;
+  SimWorld w(1, cm);
+  w.run([](RankCtx& ctx) {
+    (void)ctx.allgatherv({1.0});
+    (void)ctx.allreduce_sum(2.0);
+  });
+  const obs::CommCounters& c = w.comm_stats().per_rank[0];
+  EXPECT_EQ(c.collective_algo_calls.at("ring"), 2u);
+  EXPECT_EQ(c.coll_seconds, 0.0);
+  EXPECT_EQ(w.elapsed_virtual(), 0.0);
+}
+
 TEST(SimComm, VirtualTimeAdvancesWithComm) {
   SimWorld w(4);
   w.run([&](RankCtx& ctx) {

@@ -7,7 +7,7 @@
 //   lra_cli approx --mtx=a.mtx [--method=auto|randqb|lu|ilut|ubv]
 //             [--tau=1e-3] [--k=32] [--out=fact.bin]
 //             [--np=N] [--trace=trace.json] [--report=report.jsonl]
-//             [--faults=SPEC]
+//             [--faults=SPEC] [--comm-algo=tree|ring|auto]
 //       Fixed-precision approximation; optionally store the factors.
 //       --np runs the simulated-distributed engine on N virtual ranks;
 //       --trace writes a Chrome trace (chrome://tracing / Perfetto) of the
@@ -17,6 +17,8 @@
 //       (grammar: seed=N;delay=P:F;dup=P;flip=P;straggle=R1,..:F — see
 //       EXPERIMENTS.md, HARNESS) and implies --np (default 4). Detected
 //       payload corruption reports status comm-fault, never a crash.
+//       --comm-algo picks the modeled collective algorithm (default tree;
+//       auto switches to ring above the cost model's payload cutoff).
 //   lra_cli repro --file=case.json [--out=shrunk.json]
 //       Re-execute a differential-oracle repro file dumped by the harness
 //       (also spelled `lra_cli --repro=case.json`). Exit 0 when the oracle
@@ -151,6 +153,12 @@ int cmd_approx(const Cli& cli) {
   SimOptions sim;
   sim.faults = fault_spec.empty() ? sim::FaultPlan{}
                                   : sim::parse_fault_spec(fault_spec);
+  const std::string algo_str = cli.get("comm-algo", "tree");
+  if (!parse_comm_algo(algo_str, &sim.cost.comm_algo)) {
+    std::fprintf(stderr, "error: --comm-algo=%s (expected tree|ring|auto)\n",
+                 algo_str.c_str());
+    return 2;
+  }
 
   // Distributed runs resolve "auto" with the paper's parallel guidance
   // (deterministic methods at coarse-to-moderate tau), sequential runs with
@@ -172,7 +180,8 @@ int cmd_approx(const Cli& cli) {
         .field("method", to_string(method))
         .field("tau", o.tau)
         .field("block_size", static_cast<long long>(o.block_size))
-        .field("np", np);
+        .field("np", np)
+        .field("comm_algo", to_string(sim.cost.comm_algo));
     report->write(meta);
   }
 
