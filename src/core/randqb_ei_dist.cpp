@@ -66,8 +66,7 @@ Matrix tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
     const Matrix my_q2 =
         q2.block(offsets[ctx.rank()],
                  0, std::min<Index>(r_loc.rows(), kk), kk);
-    // Q_loc = Q1_loc * Q2_block.
-    Matrix q1 = f.thin_q();
+    // Q_loc = Q1_loc * Q2_block (Q1 was formed during the allgather overlap).
     return matmul(q1, my_q2);
   });
 }

@@ -138,7 +138,8 @@ SimRequest RankCtx::irecv_bytes(int src, int tag) {
 }
 
 bool RankCtx::try_complete_recv(SimRequest& req,
-                                std::unique_lock<std::mutex>& lock) {
+                                std::unique_lock<std::mutex>& lock,
+                                double v_entry) {
   const int src = req.peer_;
   SimWorld::Mailbox& box =
       world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ + src];
@@ -156,7 +157,7 @@ bool RankCtx::try_complete_recv(SimRequest& req,
       SimWorld::Message msg = std::move(*it);
       q.erase(it);
       lock.unlock();
-      record_overlap(req.post_vtime_, vclock_, msg.arrival_vtime);
+      record_overlap(req.post_vtime_, v_entry, msg.arrival_vtime);
       vclock_ = std::max(vclock_, msg.arrival_vtime);
       counters_.msgs_recv_from[src] += 1;
       counters_.bytes_recv_from[src] += msg.data.size();
@@ -185,7 +186,7 @@ bool RankCtx::try_complete_recv(SimRequest& req,
   return false;
 }
 
-void RankCtx::wait_complete(SimRequest& req) {
+void RankCtx::wait_complete(SimRequest& req, double v_entry) {
   if (!req.valid())
     throw std::logic_error("SimRequest: wait on an invalid request");
   if (req.done_) return;  // sends complete at post; waits are idempotent
@@ -194,21 +195,24 @@ void RankCtx::wait_complete(SimRequest& req) {
                        req.peer_];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
-    if (try_complete_recv(req, lock)) return;  // lock released inside
+    if (try_complete_recv(req, lock, v_entry)) return;  // lock released inside
     if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
     box.cv.wait(lock);
   }
 }
 
 std::vector<std::byte> RankCtx::wait(SimRequest& req) {
-  wait_complete(req);
+  wait_complete(req, vclock_);
   return req.take_data();
 }
 
 void RankCtx::waitall(std::vector<SimRequest>& reqs) {
   // Completion clocks are max-folds over arrival times, so finishing the
   // requests in index order yields the same final clock as any other order.
-  for (SimRequest& r : reqs) wait_complete(r);
+  // Overlap is measured against the clock at batch entry: time this rank
+  // spends blocked on earlier requests in the batch is not compute.
+  const double v_entry = vclock_;
+  for (SimRequest& r : reqs) wait_complete(r, v_entry);
 }
 
 bool RankCtx::test(SimRequest& req) {
@@ -219,7 +223,7 @@ bool RankCtx::test(SimRequest& req) {
       world_->mailbox_[static_cast<std::size_t>(rank_) * world_->nranks_ +
                        req.peer_];
   std::unique_lock<std::mutex> lock(box.mu);
-  if (try_complete_recv(req, lock)) return true;
+  if (try_complete_recv(req, lock, vclock_)) return true;
   if (world_->aborted_.load(std::memory_order_relaxed)) throw SimAbort{};
   return false;
 }

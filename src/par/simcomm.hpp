@@ -342,10 +342,15 @@ class RankCtx {
   /// verification — releasing the lock, storing the payload in the request,
   /// and returning true. Injected duplicate copies encountered during the
   /// scan are dropped on sight, as in the blocking path.
-  bool try_complete_recv(SimRequest& req, std::unique_lock<std::mutex>& lock);
+  /// `v_entry` is the rank's clock when the enclosing wait began — NOT the
+  /// current clock, which earlier completions in a waitall batch may already
+  /// have advanced past this request's post time (blocked time must not be
+  /// credited as overlap).
+  bool try_complete_recv(SimRequest& req, std::unique_lock<std::mutex>& lock,
+                         double v_entry);
   /// Block until `req` completes, leaving the payload in the request
-  /// (wait/waitall are thin wrappers).
-  void wait_complete(SimRequest& req);
+  /// (wait/waitall are thin wrappers). `v_entry` as in try_complete_recv.
+  void wait_complete(SimRequest& req, double v_entry);
 
   /// Record a compute span ending at the current virtual clock. Runs after
   /// the CPU-time measurement window closes, so tracing never inflates the
