@@ -7,6 +7,12 @@
 //                [--k_right=32] [--tau_left=1e-4] [--tau_right=1e-3]
 //                [--report=fig4.jsonl] [--comm-algo=tree|ring|auto]
 //
+// The left-plot (M2') np = 2 sweep point runs with tracing on: its report
+// summaries carry per-phase cost breakdowns and the full profile /
+// profile_rank / profile_phase records with what-if projections (see
+// EXPERIMENTS.md). The process exits nonzero if any traced run violates the
+// profiler's conservation or what-if ordering invariants.
+//
 // --comm-algo selects the modeled collective algorithm for every run. With
 // --comm-algo=ring the harness doubles as a smoke check: each run is repeated
 // under the tree algorithm and the process exits nonzero unless (a) every run
@@ -31,6 +37,7 @@ using namespace lra;
 CostModel g_cost;              // --comm-algo applied to every run
 bool g_check_ring = false;     // ring smoke mode (see header comment)
 int g_check_failures = 0;
+int g_profile_failures = 0;    // conservation / what-if violations
 
 template <typename DistResult>
 double max_coll_seconds(const DistResult& d) {
@@ -67,9 +74,25 @@ void check_ring_vs_tree(const char* method, const std::string& label, int np,
   }
 }
 
+// Emit the full profiler block for one traced sweep-point run and count any
+// conservation / what-if-ordering violation as a harness failure.
+template <typename DistResult>
+void profile_run(obs::ReportWriter* report, const char* method,
+                 const std::string& label, int np, const DistResult& d) {
+  if (d.trace.empty()) return;
+  const std::string run = "fig4:" + label + ":" + method + ":np" +
+                          std::to_string(np);
+  if (!bench::report_profile(report, d.trace, run)) {
+    std::fprintf(stderr, "PROFILE FAIL: invariants violated for %s\n",
+                 run.c_str());
+    ++g_profile_failures;
+  }
+}
+
 void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
                    const std::vector<long long>& nps,
-                   obs::ReportWriter* report, bool large_payload) {
+                   obs::ReportWriter* report, bool large_payload,
+                   bool profile_point) {
   std::printf("running %s' (%ld x %ld), k = %ld, tau = %.0e ...\n",
               m.label.c_str(), m.a.rows(), m.a.cols(), k, tau);
   const Index budget = std::min(m.a.rows(), m.a.cols()) * 9 / 10;
@@ -77,16 +100,23 @@ void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
   Index lu_its = 0;
   for (const long long np : nps) {
     if (np * k > std::min(m.a.rows(), m.a.cols())) break;  // as in Fig. 5
+    // One sweep point (np = 2 of the profiled block) runs with tracing on so
+    // the report carries per-phase breakdowns and what-if projections. Traces
+    // never change the modeled clocks, so speedups are unaffected.
+    SimOptions sim;
+    sim.cost = g_cost;
+    sim.collect_trace = profile_point && np == 2;
     RandQbOptions ro;
     ro.block_size = k;
     ro.tau = tau;
     ro.power = 1;
     ro.max_rank = budget;
     const DistRandQbResult dqb =
-        randqb_ei_dist(m.a, ro, static_cast<int>(np), g_cost);
+        randqb_ei_dist(m.a, ro, static_cast<int>(np), sim);
     const double t_qb = dqb.virtual_seconds;
     bench::report_dist_run(report, m.label, "randqb_ei(p=1)",
                            static_cast<int>(np), tau, dqb);
+    profile_run(report, "randqb_ei", m.label, static_cast<int>(np), dqb);
     check_ring_vs_tree(
         "randqb_ei", m.label, static_cast<int>(np), dqb,
         [&] { return randqb_ei_dist(m.a, ro, static_cast<int>(np), CostModel{}); },
@@ -96,10 +126,11 @@ void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
     lo.block_size = k;
     lo.tau = tau;
     lo.max_rank = budget;
-    const DistLuResult lu = lu_crtp_dist(m.a, lo, static_cast<int>(np), g_cost);
+    const DistLuResult lu = lu_crtp_dist(m.a, lo, static_cast<int>(np), sim);
     if (np == nps.front()) lu_its = lu.result.iterations;
     bench::report_dist_run(report, m.label, "lu_crtp", static_cast<int>(np),
                            tau, lu);
+    profile_run(report, "lu_crtp", m.label, static_cast<int>(np), lu);
     check_ring_vs_tree(
         "lu_crtp", m.label, static_cast<int>(np), lu,
         [&] { return lu_crtp_dist(m.a, lo, static_cast<int>(np), CostModel{}); },
@@ -108,10 +139,11 @@ void scaling_block(Table& t, const TestMatrix& m, Index k, double tau,
     LuCrtpOptions io = lo;
     io.threshold = ThresholdMode::kIlut;
     io.estimated_iterations = lu_its;
-    const DistLuResult il = lu_crtp_dist(m.a, io, static_cast<int>(np), g_cost);
+    const DistLuResult il = lu_crtp_dist(m.a, io, static_cast<int>(np), sim);
     const double t_il = il.virtual_seconds;
     bench::report_dist_run(report, m.label, "ilut_crtp", static_cast<int>(np),
                            tau, il);
+    profile_run(report, "ilut_crtp", m.label, static_cast<int>(np), il);
     check_ring_vs_tree(
         "ilut_crtp", m.label, static_cast<int>(np), il,
         [&] { return lu_crtp_dist(m.a, io, static_cast<int>(np), CostModel{}); },
@@ -162,11 +194,11 @@ int main(int argc, char** argv) {
            "speedup ILUT_CRTP", "t_qb (s)", "t_lu (s)", "t_ilut (s)"});
 
   scaling_block(t, make_preset("M2", scale), k_left, tau_left, nps,
-                report.get(), /*large_payload=*/false);
+                report.get(), /*large_payload=*/false, /*profile_point=*/true);
   scaling_block(t, make_preset("M4", scale), k_right, tau_right, nps,
-                report.get(), /*large_payload=*/true);
+                report.get(), /*large_payload=*/true, /*profile_point=*/false);
   scaling_block(t, make_preset("M5", scale), k_right, tau_right, nps,
-                report.get(), /*large_payload=*/true);
+                report.get(), /*large_payload=*/true, /*profile_point=*/false);
 
   std::printf("\n");
   t.print(std::cout);
@@ -183,6 +215,11 @@ int main(int argc, char** argv) {
     }
     std::printf("ring-vs-tree smoke: all runs bitwise-equal, ring modeled "
                 "collective time <= tree\n");
+  }
+  if (g_profile_failures > 0) {
+    std::fprintf(stderr, "profile invariants: %d failure(s)\n",
+                 g_profile_failures);
+    return 1;
   }
   return 0;
 }

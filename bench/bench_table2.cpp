@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
   bench::configure_threads(cli);
 
   auto report = bench::open_report(cli, "bench_table2");
+  // With a report open, the distributed runs collect traces so every summary
+  // record embeds the solver phase breakdown (same schema as the profiler's
+  // profile_phase records). Tracing never changes the modeled clocks.
+  SimOptions sim;
+  sim.collect_trace = report != nullptr;
 
   bench::print_header("Table II: runtime per correct digit",
                       "Table II of the paper");
@@ -99,7 +104,7 @@ int main(int argc, char** argv) {
       ro.tau = tau_min;
       ro.power = p;
       ro.max_rank = budget;
-      qb.push_back(randqb_ei_dist(m.a, ro, np));
+      qb.push_back(randqb_ei_dist(m.a, ro, np, sim));
       bench::report_dist_run(report.get(), label,
                              "randqb_ei(p=" + std::to_string(p) + ")", np,
                              tau_min, qb.back());
@@ -110,7 +115,7 @@ int main(int argc, char** argv) {
     lo.block_size = k;
     lo.tau = tau_min;
     lo.max_rank = budget;
-    const DistLuResult lu = lu_crtp_dist(m.a, lo, np);
+    const DistLuResult lu = lu_crtp_dist(m.a, lo, np, sim);
     bench::report_dist_run(report.get(), label, "lu_crtp", np, tau_min, lu);
 
     for (const double tau : taus) {
@@ -125,7 +130,7 @@ int main(int argc, char** argv) {
         io.tau = tau;
         io.threshold = ThresholdMode::kIlut;
         io.estimated_iterations = its_lu;
-        const DistLuResult il = lu_crtp_dist(m.a, io, np);
+        const DistLuResult il = lu_crtp_dist(m.a, io, np, sim);
         bench::report_dist_run(report.get(), label, "ilut_crtp", np, tau, il);
         if (il.result.status == Status::kConverged) {
           char buf[32];

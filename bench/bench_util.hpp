@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "gen/presets.hpp"
+#include "obs/prof/profile.hpp"
 #include "obs/report.hpp"
 #include "par/pool.hpp"
 #include "support/cli.hpp"
@@ -90,7 +92,46 @@ void report_dist_run(obs::ReportWriter* w, const std::string& matrix,
       .field("virtual_seconds", d.virtual_seconds)
       .field("total_msgs", d.comm.total_msgs())
       .field("total_bytes", d.comm.total_bytes());
+  // Traced runs carry the solver phase breakdown inline, in the profiler's
+  // schema (same keys as the "profile_phase" records: per-phase compute and
+  // comm virtual seconds; "" = time outside every PhaseScope).
+  if (!d.trace.empty()) {
+    const obs::prof::Profile p = obs::prof::build_profile(d.trace);
+    std::string ph = "{";
+    bool first = true;
+    for (const auto& [name, cost] : p.phases) {
+      if (!first) ph += ',';
+      first = false;
+      ph += '"' + obs::json_escape(name) +
+            "\":{\"compute\":" + obs::json_number(cost.compute) +
+            ",\"comm\":" + obs::json_number(cost.comm) + '}';
+    }
+    ph += '}';
+    rec.raw("phases", ph);
+  }
   w->write(rec);
+}
+
+/// Full profiler record block (profile / profile_rank / profile_phase, see
+/// EXPERIMENTS.md) for one traced run. Returns false when a conservation
+/// invariant or the what-if ordering (compute_only <= each projection <=
+/// measured = makespan) failed — callers should surface that as a harness
+/// failure, since it means the trace contradicts the cost model's replay.
+inline bool report_profile(obs::ReportWriter* w,
+                           const std::vector<obs::RankTrace>& trace,
+                           const std::string& run) {
+  if (trace.empty()) return true;
+  const obs::prof::Profile p = obs::prof::build_profile(trace);
+  if (w) {
+    std::ostringstream ss;
+    obs::prof::write_profile_jsonl(ss, p, run);
+    w->write_lines(ss.str());
+  }
+  const obs::prof::WhatIf& wi = p.whatif;
+  return p.conserved && wi.measured == p.makespan &&
+         wi.compute_only <= wi.alpha0 && wi.compute_only <= wi.beta0 &&
+         wi.compute_only <= wi.full_overlap && wi.alpha0 <= wi.measured &&
+         wi.beta0 <= wi.measured && wi.full_overlap <= wi.measured;
 }
 
 }  // namespace lra::bench

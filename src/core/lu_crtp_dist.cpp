@@ -8,6 +8,7 @@
 
 #include "dense/lu.hpp"
 #include "dense/qr.hpp"
+#include "obs/prof/phase.hpp"
 #include "qrtp/qrtp_dist.hpp"
 #include "qrtp/tournament.hpp"
 #include "sparse/colamd.hpp"
@@ -19,6 +20,8 @@
 
 namespace lra {
 namespace {
+
+using obs::prof::PhaseScope;
 
 struct Triplet {
   Index i, j;
@@ -99,20 +102,21 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
       std::vector<Index> live;
       Matrix q;  // live.size() x kk
       double r00 = 0.0;
-      if (r == 0) {
-        ctx.compute("col_qr", [&] {
-          live = winners.cols.nonempty_rows();
-          if (static_cast<Index>(live.size()) < kk)
-            kk = static_cast<Index>(live.size());
-          if (kk > 0) {
-            const Matrix pd = dense_row_subset(winners.cols, live);
-            HouseholderQR f(pd.block(0, 0, pd.rows(), kk));
-            q = f.thin_q();
-            r00 = std::fabs(f.r()(0, 0));
-          }
-        });
-      }
       {
+        PhaseScope panel_phase(ctx, "panel");
+        if (r == 0) {
+          ctx.compute("col_qr", [&] {
+            live = winners.cols.nonempty_rows();
+            if (static_cast<Index>(live.size()) < kk)
+              kk = static_cast<Index>(live.size());
+            if (kk > 0) {
+              const Matrix pd = dense_row_subset(winners.cols, live);
+              HouseholderQR f(pd.block(0, 0, pd.rows(), kk));
+              q = f.thin_q();
+              r00 = std::fabs(f.r()(0, 0));
+            }
+          });
+        }
         ByteWriter w;
         if (r == 0) {
           w.put<std::int64_t>(kk);
@@ -158,95 +162,99 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
       }
 
       // --- Local row permutation / pivot split ("row_perm" in Fig. 5) ---
-      std::vector<Index> selpos(static_cast<std::size_t>(m_a), -1);
-      for (Index j = 0; j < kk; ++j) selpos[sel_rows[j]] = j;
-      std::vector<Index> restpos(static_cast<std::size_t>(m_a), -1);
       std::vector<Index> rest_rows;
-      rest_rows.reserve(static_cast<std::size_t>(m_a - kk));
-      for (Index i = 0; i < m_a; ++i)
-        if (selpos[i] < 0) {
-          restpos[i] = static_cast<Index>(rest_rows.size());
-          rest_rows.push_back(i);
-        }
-
-      // Winner columns split into A11 (dense) and A21 (all ranks hold the
-      // replicated winners after the tournament broadcast).
       Matrix a11(kk, kk);
       CscMatrix a21;
-      ctx.compute("row_perm", [&] {
-        CooBuilder b21(m_a - kk, kk);
-        for (Index c = 0; c < kk; ++c) {
-          const auto rows = winners.cols.col_rows(c);
-          const auto vals = winners.cols.col_values(c);
-          for (std::size_t t = 0; t < rows.size(); ++t) {
-            if (selpos[rows[t]] >= 0)
-              a11(selpos[rows[t]], c) = vals[t];
-            else
-              b21.add(restpos[rows[t]], c, vals[t]);
-          }
-        }
-        a21 = b21.build();
-      });
-
-      // Local columns (minus any winners we own) split into U12 and A22.
-      std::vector<char> is_winner_mine(col_ids.size(), 0);
-      for (std::size_t j = 0; j < col_ids.size(); ++j)
-        for (Index wid : winners.global_index)
-          if (col_ids[j] == wid) is_winner_mine[j] = 1;
       CscMatrix u12_loc, a22_loc;
       std::vector<Index> next_col_ids;
-      ctx.compute("row_perm", [&] {
-        std::vector<Index> keep;
+      {
+        PhaseScope row_perm_phase(ctx, "row_perm");
+        std::vector<Index> selpos(static_cast<std::size_t>(m_a), -1);
+        for (Index j = 0; j < kk; ++j) selpos[sel_rows[j]] = j;
+        std::vector<Index> restpos(static_cast<std::size_t>(m_a), -1);
+        rest_rows.reserve(static_cast<std::size_t>(m_a - kk));
+        for (Index i = 0; i < m_a; ++i)
+          if (selpos[i] < 0) {
+            restpos[i] = static_cast<Index>(rest_rows.size());
+            rest_rows.push_back(i);
+          }
+
+        // Winner columns split into A11 (dense) and A21 (all ranks hold the
+        // replicated winners after the tournament broadcast).
+        ctx.compute("row_perm", [&] {
+          CooBuilder b21(m_a - kk, kk);
+          for (Index c = 0; c < kk; ++c) {
+            const auto rows = winners.cols.col_rows(c);
+            const auto vals = winners.cols.col_values(c);
+            for (std::size_t t = 0; t < rows.size(); ++t) {
+              if (selpos[rows[t]] >= 0)
+                a11(selpos[rows[t]], c) = vals[t];
+              else
+                b21.add(restpos[rows[t]], c, vals[t]);
+            }
+          }
+          a21 = b21.build();
+        });
+
+        // Local columns (minus any winners we own) split into U12 and A22.
+        std::vector<char> is_winner_mine(col_ids.size(), 0);
         for (std::size_t j = 0; j < col_ids.size(); ++j)
-          if (!is_winner_mine[j]) {
-            keep.push_back(static_cast<Index>(j));
-            next_col_ids.push_back(col_ids[j]);
+          for (Index wid : winners.global_index)
+            if (col_ids[j] == wid) is_winner_mine[j] = 1;
+        ctx.compute("row_perm", [&] {
+          std::vector<Index> keep;
+          for (std::size_t j = 0; j < col_ids.size(); ++j)
+            if (!is_winner_mine[j]) {
+              keep.push_back(static_cast<Index>(j));
+              next_col_ids.push_back(col_ids[j]);
+            }
+          const CscMatrix rest = s_loc.select_columns(keep);
+          CooBuilder b12(kk, rest.cols());
+          CooBuilder b22(m_a - kk, rest.cols());
+          for (Index j = 0; j < rest.cols(); ++j) {
+            const auto rows = rest.col_rows(j);
+            const auto vals = rest.col_values(j);
+            for (std::size_t t = 0; t < rows.size(); ++t) {
+              if (selpos[rows[t]] >= 0)
+                b12.add(selpos[rows[t]], j, vals[t]);
+              else
+                b22.add(restpos[rows[t]], j, vals[t]);
+            }
           }
-        const CscMatrix rest = s_loc.select_columns(keep);
-        CooBuilder b12(kk, rest.cols());
-        CooBuilder b22(m_a - kk, rest.cols());
-        for (Index j = 0; j < rest.cols(); ++j) {
-          const auto rows = rest.col_rows(j);
-          const auto vals = rest.col_values(j);
-          for (std::size_t t = 0; t < rows.size(); ++t) {
-            if (selpos[rows[t]] >= 0)
-              b12.add(selpos[rows[t]], j, vals[t]);
-            else
-              b22.add(restpos[rows[t]], j, vals[t]);
-          }
-        }
-        u12_loc = b12.build();
-        a22_loc = b22.build();
-      });
+          u12_loc = b12.build();
+          a22_loc = b22.build();
+        });
+      }
 
       // --- X = A21 A11^{-1}: scattered solve + allgather (Section V) ---
-      // Row-equilibrate the pivot block first so the conditioning guard is
-      // scale-invariant (graded blocks are fine; true deficiency is not).
-      std::vector<double> dinv(static_cast<std::size_t>(kk), 0.0);
-      bool degenerate = false;
-      Matrix a11_scaled = a11;
-      ctx.compute("solve_a21", [&] {
-        for (Index i = 0; i < kk; ++i) {
-          double mx = 0.0;
-          for (Index j = 0; j < kk; ++j)
-            mx = std::max(mx, std::fabs(a11_scaled(i, j)));
-          if (mx == 0.0) {
-            degenerate = true;
-            continue;
-          }
-          dinv[i] = 1.0 / mx;
-          for (Index j = 0; j < kk; ++j) a11_scaled(i, j) *= dinv[i];
-        }
-      });
-      PartialPivLU lu11 =
-          ctx.compute("solve_a21", [&] { return PartialPivLU(a11_scaled); });
-      if (degenerate || lu11.singular() || lu11.rcond_estimate() < 1e-15) {
-        status = Status::kBreakdown;
-        break;
-      }
-      // Partition A21's nonzero rows round-robin over ranks.
       CscMatrix x;  // (m_a - kk) x kk, replicated after allgather
       {
+        PhaseScope solve_phase(ctx, "solve_a21");
+        // Row-equilibrate the pivot block first so the conditioning guard is
+        // scale-invariant (graded blocks are fine; true deficiency is not).
+        std::vector<double> dinv(static_cast<std::size_t>(kk), 0.0);
+        bool degenerate = false;
+        Matrix a11_scaled = a11;
+        ctx.compute("solve_a21", [&] {
+          for (Index i = 0; i < kk; ++i) {
+            double mx = 0.0;
+            for (Index j = 0; j < kk; ++j)
+              mx = std::max(mx, std::fabs(a11_scaled(i, j)));
+            if (mx == 0.0) {
+              degenerate = true;
+              continue;
+            }
+            dinv[i] = 1.0 / mx;
+            for (Index j = 0; j < kk; ++j) a11_scaled(i, j) *= dinv[i];
+          }
+        });
+        PartialPivLU lu11 =
+            ctx.compute("solve_a21", [&] { return PartialPivLU(a11_scaled); });
+        if (degenerate || lu11.singular() || lu11.rcond_estimate() < 1e-15) {
+          status = Status::kBreakdown;
+          break;
+        }
+        // Partition A21's nonzero rows round-robin over ranks.
         const CscMatrix a21t = a21.transposed();  // kk x (m_a - kk)
         std::vector<double> my_payload;            // [row, v0..v_{kk-1}]*
         ctx.compute("solve_a21", [&] {
@@ -285,19 +293,26 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
       }
 
       // --- Schur update of the local columns ---
-      CscMatrix schur_loc = ctx.compute("schur", [&] {
-        CscMatrix sc = schur_update(a22_loc, x, u12_loc);
-        sc.prune(0.0);
-        return sc;
-      });
+      CscMatrix schur_loc;
+      {
+        PhaseScope schur_phase(ctx, "schur");
+        schur_loc = ctx.compute("schur", [&] {
+          CscMatrix sc = schur_update(a22_loc, x, u12_loc);
+          sc.prune(0.0);
+          return sc;
+        });
+      }
 
       // Post the error-indicator reduction now and record this round's
       // factor triplets while it is in flight: the recording reads only
       // panel state (x, a11, u12), none of which the reduction touches, so
       // the bookkeeping overlaps the modeled allreduce.
-      const double local_sq = schur_loc.frobenius_norm_sq();
-      CollRequest ind_req =
-          ctx.iallreduce_sum(std::vector<double>{local_sq});
+      CollRequest ind_req;
+      {
+        PhaseScope err_phase(ctx, "error_check");
+        const double local_sq = schur_loc.frobenius_norm_sq();
+        ind_req = ctx.iallreduce_sum(std::vector<double>{local_sq});
+      }
 
       // --- Record L and U triplets (L on rank 0; U on the owning ranks) ---
       const Index koff = rank_so_far;
@@ -345,6 +360,7 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
         phi = opts.phi > 0.0 ? opts.phi : opts.tau * r11_first;
       }
       if (threshold_enabled && indicator >= target) {
+        PhaseScope threshold_phase(ctx, "threshold");
         CscMatrix backup = schur_loc;
         DropResult dr = ctx.compute("threshold", [&] {
           return opts.threshold == ThresholdMode::kIlut
@@ -397,6 +413,7 @@ DistLuResult lu_crtp_dist(const CscMatrix& a, const LuCrtpOptions& opts,
     // --- Gather factors to rank 0 (not part of the timed algorithm) ---
     // Triplets and surviving ids; rank 0 assembles exactly like the
     // sequential engine.
+    PhaseScope assemble_phase(ctx, "assemble");
     ByteWriter w;
     {
       std::vector<Index> uti, utj;

@@ -6,10 +6,13 @@
 
 #include "dense/blas.hpp"
 #include "dense/qr.hpp"
+#include "obs/prof/phase.hpp"
 #include "sparse/ops.hpp"
 
 namespace lra {
 namespace {
+
+using obs::prof::PhaseScope;
 
 // Contiguous 1D partition of `n` items over `p` ranks.
 struct Slice {
@@ -26,6 +29,7 @@ Slice slice_of(Index n, int p, int r) {
 // (rows of a global m x kk matrix). Returns this rank's rows of Q.
 Matrix tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
                  const std::string& kernel) {
+  PhaseScope phase(ctx, "tsqr");
   // Local QR. Ranks with fewer rows than kk contribute a short R block.
   HouseholderQR f = ctx.compute(kernel, [&] { return HouseholderQR(std::move(y_loc)); });
   const Matrix r_loc = f.r();  // min(m_loc, kk) x kk
@@ -108,38 +112,43 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
     while (rank_so_far < rank_budget) {
       const Index kk = std::min(k, rank_budget - rank_so_far);
 
-      // Gaussian block, identical on every rank by construction.
-      const Matrix omega = ctx.compute([&] {
-        return Matrix::gaussian(n, kk, opts.seed,
-                                static_cast<std::uint64_t>(iterations));
-      });
-
-      // B_K * Omega: column-distributed B against my slice of Omega's rows.
-      Matrix bo(rank_so_far, kk);
-      if (rank_so_far > 0) {
-        ctx.compute("spmm", [&] {
-          const Matrix omega_slice = omega.block(cs.begin, 0, cs.size(), kk);
-          gemm(bo, b_loc, omega_slice);
+      Matrix y_loc;
+      {
+        PhaseScope phase(ctx, "sketch");
+        // Gaussian block, identical on every rank by construction.
+        const Matrix omega = ctx.compute([&] {
+          return Matrix::gaussian(n, kk, opts.seed,
+                                  static_cast<std::uint64_t>(iterations));
         });
-        bo = [&] {
-          std::vector<double> flat(bo.data(), bo.data() + bo.size());
-          flat = ctx.allreduce_sum(std::move(flat));
-          Matrix r(rank_so_far, kk);
-          std::copy(flat.begin(), flat.end(), r.data());
-          return r;
-        }();
-      }
 
-      // Y_loc = A_loc * Omega - Q_loc * (B Omega).
-      Matrix y_loc = ctx.compute("spmm", [&] {
-        Matrix y = spmm(a_loc, omega);
-        if (rank_so_far > 0) gemm(y, q_loc, bo, -1.0, 1.0);
-        return y;
-      });
+        // B_K * Omega: column-distributed B against my slice of Omega's rows.
+        Matrix bo(rank_so_far, kk);
+        if (rank_so_far > 0) {
+          ctx.compute("spmm", [&] {
+            const Matrix omega_slice = omega.block(cs.begin, 0, cs.size(), kk);
+            gemm(bo, b_loc, omega_slice);
+          });
+          bo = [&] {
+            std::vector<double> flat(bo.data(), bo.data() + bo.size());
+            flat = ctx.allreduce_sum(std::move(flat));
+            Matrix r(rank_so_far, kk);
+            std::copy(flat.begin(), flat.end(), r.data());
+            return r;
+          }();
+        }
+
+        // Y_loc = A_loc * Omega - Q_loc * (B Omega).
+        y_loc = ctx.compute("spmm", [&] {
+          Matrix y = spmm(a_loc, omega);
+          if (rank_so_far > 0) gemm(y, q_loc, bo, -1.0, 1.0);
+          return y;
+        });
+      }
       Matrix qk_loc = tsqr_dist(ctx, std::move(y_loc), kk, "orth");
 
       // Power scheme.
       for (int p = 0; p < opts.power; ++p) {
+        PhaseScope phase(ctx, "power");
         // z = A^T qk - B^T (Q^T qk), row-distributed by the column slices.
         ctx.compute("power", [&] {
           spmm_t_into(z_full, a_loc, qk_loc);
@@ -166,21 +175,25 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
         }
         Matrix qhat_loc = tsqr_dist(ctx, std::move(z_loc), kk, "power");
         // Replicate qhat (A_loc needs all of it).
-        std::vector<double> flat(qhat_loc.data(),
-                                 qhat_loc.data() + qhat_loc.size());
-        const std::vector<double> allq = ctx.allgatherv(flat);
-        const Matrix qhat = ctx.compute("power", [&] {
-          Matrix q(n, kk);
-          std::size_t pos = 0;
-          for (int r = 0; r < ctx.size(); ++r) {
-            const Slice s = slice_of(n, ctx.size(), r);
-            for (Index j = 0; j < kk; ++j)
-              for (Index i = 0; i < s.size(); ++i)
-                q(s.begin + i, j) = allq[pos + static_cast<std::size_t>(j * s.size() + i)];
-            pos += static_cast<std::size_t>(s.size() * kk);
-          }
-          return q;
-        });
+        Matrix qhat;
+        {
+          PhaseScope rep(ctx, "replicate");
+          std::vector<double> flat(qhat_loc.data(),
+                                   qhat_loc.data() + qhat_loc.size());
+          const std::vector<double> allq = ctx.allgatherv(flat);
+          qhat = ctx.compute("power", [&] {
+            Matrix q(n, kk);
+            std::size_t pos = 0;
+            for (int r = 0; r < ctx.size(); ++r) {
+              const Slice s = slice_of(n, ctx.size(), r);
+              for (Index j = 0; j < kk; ++j)
+                for (Index i = 0; i < s.size(); ++i)
+                  q(s.begin + i, j) = allq[pos + static_cast<std::size_t>(j * s.size() + i)];
+              pos += static_cast<std::size_t>(s.size() * kk);
+            }
+            return q;
+          });
+        }
         // w = A qhat - Q (B qhat).
         Matrix bq(rank_so_far, kk);
         if (rank_so_far > 0) {
@@ -202,6 +215,7 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
 
       // Re-orthogonalization against the accumulated basis.
       if (rank_so_far > 0) {
+        PhaseScope phase(ctx, "reorth");
         Matrix proj = ctx.compute("reorth", [&] { return matmul_tn(q_loc, qk_loc); });
         {
           std::vector<double> flat(proj.data(), proj.data() + proj.size());
@@ -213,32 +227,43 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
       }
 
       // B_k = Q_k^T A : local partial over my rows, reduced; keep my columns.
-      Matrix bk_partial = ctx.compute("b_update", [&] {
-        spmm_t_into(bkt_loc, a_loc, qk_loc);
-        return bkt_loc.transposed();  // kk x n
-      });
+      Matrix bk_slice;
       {
-        std::vector<double> flat(bk_partial.data(),
-                                 bk_partial.data() + bk_partial.size());
-        flat = ctx.allreduce_sum(std::move(flat));
-        std::copy(flat.begin(), flat.end(), bk_partial.data());
+        PhaseScope phase(ctx, "b_update");
+        Matrix bk_partial = ctx.compute("b_update", [&] {
+          spmm_t_into(bkt_loc, a_loc, qk_loc);
+          return bkt_loc.transposed();  // kk x n
+        });
+        {
+          std::vector<double> flat(bk_partial.data(),
+                                   bk_partial.data() + bk_partial.size());
+          flat = ctx.allreduce_sum(std::move(flat));
+          std::copy(flat.begin(), flat.end(), bk_partial.data());
+        }
+        bk_slice = ctx.compute("b_update", [&] {
+          return bk_partial.block(0, cs.begin, kk, cs.size());
+        });
       }
-      const Matrix bk_slice = ctx.compute("b_update", [&] {
-        return bk_partial.block(0, cs.begin, kk, cs.size());
-      });
 
       // Error indicator: ||B_k||_F^2 summed over column slices. Post the
       // reduction first, then fold the new block into the accumulated basis
       // while the allreduce is in flight — the append reads nothing the
       // reduction writes, so the copy cost genuinely overlaps the transfer.
-      const double local_sq =
-          ctx.compute("error_check", [&] { return bk_slice.frobenius_norm_sq(); });
-      CollRequest ind_req = ctx.iallreduce_sum(std::vector<double>{local_sq});
+      CollRequest ind_req;
+      {
+        PhaseScope phase(ctx, "error_check");
+        const double local_sq = ctx.compute(
+            "error_check", [&] { return bk_slice.frobenius_norm_sq(); });
+        ind_req = ctx.iallreduce_sum(std::vector<double>{local_sq});
+      }
 
-      ctx.compute("b_update", [&] {
-        q_loc.append_cols(qk_loc);
-        b_loc.append_rows(bk_slice);
-      });
+      {
+        PhaseScope phase(ctx, "b_update");
+        ctx.compute("b_update", [&] {
+          q_loc.append_cols(qk_loc);
+          b_loc.append_rows(bk_slice);
+        });
+      }
       rank_so_far += kk;
       iterations += 1;
 
@@ -257,6 +282,7 @@ DistRandQbResult randqb_ei_dist(const CscMatrix& a, const RandQbOptions& opts,
 
     // Assemble the factors on rank 0 (not charged to the parallel runtime:
     // the paper's runtimes exclude final I/O-style gathers as well).
+    PhaseScope assemble_phase(ctx, "assemble");
     std::vector<double> qflat(q_loc.data(), q_loc.data() + q_loc.size());
     std::vector<double> bflat(b_loc.data(), b_loc.data() + b_loc.size());
     // allgatherv returns rank-ordered contributions on every rank.

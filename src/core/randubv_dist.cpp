@@ -6,10 +6,13 @@
 
 #include "dense/blas.hpp"
 #include "dense/qr.hpp"
+#include "obs/prof/phase.hpp"
 #include "sparse/ops.hpp"
 
 namespace lra {
 namespace {
+
+using obs::prof::PhaseScope;
 
 struct Slice {
   Index begin, end;
@@ -29,6 +32,7 @@ struct TsqrOut {
 
 TsqrOut tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
                   const std::string& kernel) {
+  PhaseScope phase(ctx, "tsqr");
   HouseholderQR f =
       ctx.compute(kernel, [&] { return HouseholderQR(std::move(y_loc)); });
   const Matrix r_loc = f.r();
@@ -72,6 +76,8 @@ TsqrOut tsqr_dist(RankCtx& ctx, Matrix y_loc, Index kk,
 // Replicate a row-distributed dense block (slices in rank order). Split into
 // post + wait halves so callers can slot independent work into the transfer.
 CollRequest ireplicate(RankCtx& ctx, const Matrix& loc) {
+  // The wait event inherits this phase from the post (see CollRequest).
+  PhaseScope phase(ctx, "replicate");
   std::vector<double> flat(loc.data(), loc.data() + loc.size());
   return ctx.iallgatherv(flat);
 }
@@ -132,20 +138,27 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
     std::vector<Index> iter_rank;
 
     // V_1 = orth(Gaussian) — block generated identically, sliced, TSQR'd.
-    Matrix omega_full = ctx.compute("spmm", [&] {
-      return Matrix::gaussian(n, b, opts.seed, 0);
-    });
+    Matrix omega_full;
+    {
+      PhaseScope sketch_phase(ctx, "sketch");
+      omega_full = ctx.compute("spmm", [&] {
+        return Matrix::gaussian(n, b, opts.seed, 0);
+      });
+    }
     TsqrOut v1 = tsqr_dist(
         ctx, omega_full.block(cs.begin, 0, cs.size(), b), b, "orth");
     Matrix vj_loc = std::move(v1.q_loc);
 
     // U_1 L_1 = qr(A V_1).
-    Matrix v_full = ctx.compute("spmm", [&] {
-      return Matrix(n, b);
-    });
-    v_full = replicate(ctx, vj_loc, n, b);
-    Matrix z_loc =
-        ctx.compute("spmm", [&] { return spmm(a_loc, v_full); });
+    Matrix z_loc;
+    {
+      PhaseScope sketch_phase(ctx, "sketch");
+      Matrix v_full = ctx.compute("spmm", [&] {
+        return Matrix(n, b);
+      });
+      v_full = replicate(ctx, vj_loc, n, b);
+      z_loc = ctx.compute("spmm", [&] { return spmm(a_loc, v_full); });
+    }
     TsqrOut u1 = tsqr_dist(ctx, std::move(z_loc), b, "orth");
     Matrix uj_loc = std::move(u1.q_loc);
     Matrix lj = std::move(u1.r);
@@ -160,11 +173,14 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
     Matrix w_partial;
 
     for (;;) {
-      ctx.compute("b_update", [&] {
-        v_loc.append_cols(vj_loc);
-        u_loc.append_cols(uj_loc);
-        diag_l.push_back(lj);
-      });
+      {
+        PhaseScope b_phase(ctx, "b_update");
+        ctx.compute("b_update", [&] {
+          v_loc.append_cols(vj_loc);
+          u_loc.append_cols(uj_loc);
+          diag_l.push_back(lj);
+        });
+      }
       rank_so_far += b;
       iterations += 1;
       e -= lj.frobenius_norm_sq();
@@ -180,17 +196,22 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
       if (rank_so_far + b > rank_budget) break;
 
       // W = A^T U_j - V_j L_j^T (row-distributed over n), full reorth.
-      ctx.compute("spmm", [&] {
-        spmm_t_into(w_partial, a_loc, uj_loc);
-        return 0;
-      });
-      allreduce_inplace(ctx, w_partial);
-      Matrix w_loc = ctx.compute("spmm", [&] {
-        Matrix w = w_partial.block(cs.begin, 0, cs.size(), b);
-        gemm(w, vj_loc, lj, -1.0, 1.0, Trans::kNo, Trans::kYes);
-        return w;
-      });
+      Matrix w_loc;
+      {
+        PhaseScope power_phase(ctx, "power");
+        ctx.compute("spmm", [&] {
+          spmm_t_into(w_partial, a_loc, uj_loc);
+          return 0;
+        });
+        allreduce_inplace(ctx, w_partial);
+        w_loc = ctx.compute("spmm", [&] {
+          Matrix w = w_partial.block(cs.begin, 0, cs.size(), b);
+          gemm(w, vj_loc, lj, -1.0, 1.0, Trans::kNo, Trans::kYes);
+          return w;
+        });
+      }
       if (opts.full_reorth && v_loc.cols() > 0) {
+        PhaseScope reorth_phase(ctx, "reorth");
         Matrix proj =
             ctx.compute("reorth", [&] { return matmul_tn(v_loc, w_loc); });
         allreduce_inplace(ctx, proj);
@@ -207,12 +228,17 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
 
       // Z = A V_{j+1} - U_j R_j^T (row-distributed over m), full reorth.
       const Matrix vnext_full = wait_replicate(ctx, vrep, n, b);
-      Matrix znext_loc = ctx.compute("spmm", [&] {
-        Matrix z = spmm(a_loc, vnext_full);
-        gemm(z, uj_loc, rj, -1.0, 1.0, Trans::kNo, Trans::kYes);
-        return z;
-      });
+      Matrix znext_loc;
+      {
+        PhaseScope power_phase(ctx, "power");
+        znext_loc = ctx.compute("spmm", [&] {
+          Matrix z = spmm(a_loc, vnext_full);
+          gemm(z, uj_loc, rj, -1.0, 1.0, Trans::kNo, Trans::kYes);
+          return z;
+        });
+      }
       if (opts.full_reorth && u_loc.cols() > 0) {
+        PhaseScope reorth_phase(ctx, "reorth");
         Matrix proj =
             ctx.compute("reorth", [&] { return matmul_tn(u_loc, znext_loc); });
         allreduce_inplace(ctx, proj);
@@ -225,6 +251,7 @@ DistRandUbvResult randubv_dist(const CscMatrix& a, const RandUbvOptions& opts,
     }
 
     // Gather factors (not charged; see the RandQB_EI engine).
+    PhaseScope assemble_phase(ctx, "assemble");
     std::vector<double> uflat(u_loc.data(), u_loc.data() + u_loc.size());
     std::vector<double> vflat(v_loc.data(), v_loc.data() + v_loc.size());
     const std::vector<double> us = ctx.allgatherv(uflat);

@@ -1,7 +1,7 @@
 #pragma once
 // Minimal JSON emission helpers for the observability layer (Chrome trace
-// export and the JSONL run reports). Emission only — the one JSON reader in
-// the repo is the flat repro-file parser in sim/repro.cpp.
+// export and the JSONL run reports). Emission only — the matching reader is
+// obs/jsonin.hpp (plus the flat repro-file parser in sim/repro.cpp).
 
 #include <cstdint>
 #include <string>

@@ -1,0 +1,124 @@
+#pragma once
+// Minimal recursive-descent JSON reader for the repo's own outputs (Chrome
+// traces, BENCH_*.json, JSONL reports). Full-document DOM, no dependencies;
+// numbers parse via strtod, so %.17g doubles written by JsonObj round-trip
+// bitwise. Not a general-purpose validator: it accepts the JSON this repo
+// writes and rejects the rest with a position-tagged error.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lra::obs {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps keys ordered; none of our documents rely on duplicates.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  double as_double() const {
+    require(Kind::kNumber, "number");
+    return num_;
+  }
+  std::int64_t as_int() const {
+    return static_cast<std::int64_t>(as_double());
+  }
+  std::uint64_t as_uint() const {
+    require(Kind::kNumber, "number");
+    // %.17g round-trips uint64 below 2^53 exactly; flow ids pack 32+32 bits
+    // so they can exceed that — they are written as integer literals and
+    // reparsed through the integer fast path in the parser (see num_i_).
+    return has_int_ ? num_i_ : static_cast<std::uint64_t>(num_);
+  }
+  const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return str_;
+  }
+  const JsonArray& as_array() const {
+    require(Kind::kArray, "array");
+    return *arr_;
+  }
+  const JsonObject& as_object() const {
+    require(Kind::kObject, "object");
+    return *obj_;
+  }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+  }
+  /// `find` with a default for scalar conveniences.
+  double number_or(const std::string& key, double dflt) const {
+    const JsonValue* v = find(key);
+    return v && v->is_number() ? v->as_double() : dflt;
+  }
+  std::string string_or(const std::string& key, std::string dflt) const {
+    const JsonValue* v = find(key);
+    return v && v->is_string() ? v->as_string() : std::move(dflt);
+  }
+
+  /// Parser hook: attach the exact unsigned payload of an integer literal
+  /// (the double path loses precision above 2^53, e.g. for flow ids).
+  void set_exact_uint(std::uint64_t u) {
+    num_i_ = u;
+    has_int_ = true;
+  }
+
+ private:
+  void require(Kind k, const char* what) const {
+    if (kind_ != k)
+      throw std::runtime_error(std::string("json: expected ") + what);
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t num_i_ = 0;  // exact integer payload when has_int_
+  bool has_int_ = false;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed). Throws
+/// std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+/// Parse a whole file. Throws on open failure or malformed JSON.
+JsonValue parse_json_file(const std::string& path);
+
+/// Parse JSON-lines: one document per non-empty line.
+std::vector<JsonValue> parse_jsonl_file(const std::string& path);
+
+}  // namespace lra::obs

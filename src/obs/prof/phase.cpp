@@ -1,0 +1,11 @@
+#include "obs/prof/phase.hpp"
+
+namespace lra::obs::prof {
+
+bool is_documented_phase(std::string_view name) {
+  for (std::string_view p : kPhaseTaxonomy)
+    if (p == name) return true;
+  return false;
+}
+
+}  // namespace lra::obs::prof

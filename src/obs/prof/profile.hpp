@@ -1,0 +1,112 @@
+#pragma once
+// Post-run trace analyzer: per-phase cost attribution, conservation checks,
+// critical-path extraction, and alpha-beta what-if projections over the
+// event traces recorded by the virtual-time runtime.
+//
+// The analysis rests on the tracing contract of obs/trace.hpp: per rank the
+// events' [block_v, end_v] tiles abut exactly and cover [0, final clock],
+// every tile carries the exact modeled cost the runtime charged (cost_v),
+// and p2p / collective edges are identified by flow ids. From that the
+// analyzer
+//
+//   * attributes every virtual second per rank to {compute-by-phase,
+//     comm-by-phase, idle}, with overlapped seconds reported alongside
+//     (overlap is a credit against comm, not a fourth tile);
+//   * replays the DAG under counterfactual cost policies (alpha = 0,
+//     beta = 0, infinite overlap, compute-only) — the measured-policy replay
+//     must reproduce the final clocks bitwise, which doubles as an
+//     end-to-end integrity check of the trace;
+//   * extracts the critical path by backtracking from the final clock,
+//     hopping to the remote sender (or the latest-posting rank of a
+//     collective) at every remote-bound wait; the step durations telescope
+//     exactly to the makespan.
+//
+// All checks record violations into Profile::violations instead of throwing:
+// a malformed trace yields a diagnosable profile, not an exception.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lra::obs::prof {
+
+/// Seconds attributed to one phase, split by what the rank was doing.
+struct PhaseCost {
+  double compute = 0.0;  // clock advances from compute()/charge()
+  double comm = 0.0;     // modeled comm charges (send alpha, exposed waits)
+};
+
+/// Attribution of one rank's [0, total] timeline.
+struct RankProfile {
+  double total = 0.0;    // final virtual clock (last event's end_v)
+  double compute = 0.0;  // sum over phases
+  double comm = 0.0;     // sum over phases
+  double idle = 0.0;     // wait-time jump beyond the modeled comm cost
+  double overlap = 0.0;  // sum of per-completion overlap credits
+  std::map<std::string, PhaseCost> phases;  // key "" = outside every scope
+};
+
+/// One step of the critical path (in forward time order after extraction).
+struct CritStep {
+  int rank = -1;
+  bool comm_edge = false;  // true: cross-rank (or exposed-wait) comm edge
+  std::string name;
+  std::string phase;
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Counterfactual makespans (virtual seconds). Ordering invariant (enforced
+/// by cost clamps): compute_only <= each projection <= measured.
+struct WhatIf {
+  double measured = 0.0;      // replay under recorded costs (bitwise check)
+  double alpha0 = 0.0;        // latency-free network (alpha = 0)
+  double beta0 = 0.0;         // infinite bandwidth (beta = 0)
+  double full_overlap = 0.0;  // transfers fully hidden; dependencies remain
+  double compute_only = 0.0;  // all comm free: the compute critical path
+};
+
+struct Profile {
+  int nranks = 0;
+  double makespan = 0.0;  // max over ranks of the final clock
+  std::vector<RankProfile> ranks;
+
+  // Sums over ranks.
+  double compute = 0.0;
+  double comm = 0.0;
+  double idle = 0.0;
+  double overlap = 0.0;
+  std::map<std::string, PhaseCost> phases;
+
+  std::vector<CritStep> critical_path;  // forward order; telescopes to makespan
+  double crit_length = 0.0;             // sum of step durations
+  double crit_compute = 0.0;
+  double crit_comm = 0.0;
+  std::map<std::string, double> crit_phases;  // on-path seconds per phase
+
+  WhatIf whatif;
+
+  bool conserved = true;                 // all invariants held
+  std::vector<std::string> violations;   // human-readable invariant failures
+};
+
+/// Analyze the per-rank traces of one run (live buffers or a re-read file —
+/// the two produce bitwise-identical profiles).
+Profile build_profile(const std::vector<RankTrace>& ranks);
+
+/// Human-readable breakdown: per-phase table, per-rank utilization, critical
+/// path summary, what-if bounds.
+void print_profile(std::ostream& os, const Profile& p);
+
+/// JSONL emission, one record per line, shared schema with the benches (see
+/// EXPERIMENTS.md): a "profile" summary record (with the "whatif" object),
+/// one "profile_rank" record per rank, one "profile_phase" record per phase.
+/// `run` labels the records (e.g. the trace file or solver name).
+void write_profile_jsonl(std::ostream& os, const Profile& p,
+                         const std::string& run);
+
+}  // namespace lra::obs::prof

@@ -1,0 +1,82 @@
+#include "obs/prof/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/jsonin.hpp"
+
+namespace lra::obs::prof {
+namespace {
+
+SpanCat parse_cat(const std::string& s) {
+  if (s == "compute") return SpanCat::kCompute;
+  if (s == "p2p") return SpanCat::kP2P;
+  if (s == "collective") return SpanCat::kCollective;
+  if (s == "fault") return SpanCat::kFault;
+  return SpanCat::kCompute;
+}
+
+}  // namespace
+
+std::vector<RankTrace> read_chrome_trace(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const JsonValue doc = parse_json(ss.str());
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || !events->is_array())
+    throw std::runtime_error("trace: missing traceEvents array");
+
+  std::vector<RankTrace> ranks;
+  for (const JsonValue& jev : events->as_array()) {
+    const std::string ph = jev.string_or("ph", "");
+    if (ph != "X") continue;  // metadata and flow events are derived data
+    const JsonValue* tid = jev.find("tid");
+    if (!tid || !tid->is_number()) continue;
+    const auto r = static_cast<std::size_t>(tid->as_int());
+    if (ranks.size() <= r) ranks.resize(r + 1);
+
+    TraceEvent e;
+    e.name = jev.string_or("name", "");
+    e.cat = parse_cat(jev.string_or("cat", "compute"));
+    const JsonValue* args = jev.find("args");
+    if (args && args->find("b") && args->find("e")) {
+      // Raw virtual seconds written at %.17g: bitwise round-trip.
+      e.begin_v = args->number_or("b", 0.0);
+      e.end_v = args->number_or("e", 0.0);
+    } else {
+      e.begin_v = jev.number_or("ts", 0.0) / 1e6;
+      e.end_v = e.begin_v + jev.number_or("dur", 0.0) / 1e6;
+    }
+    e.block_v = e.begin_v;
+    if (args) {
+      e.bytes = static_cast<std::uint64_t>(args->number_or("bytes", 0.0));
+      e.peer = static_cast<int>(args->number_or("peer", -1.0));
+      const std::string op = args->string_or("op", "");
+      if (!op.empty() && !parse_span_op(op, &e.op))
+        throw std::runtime_error("trace: unknown op '" + op + "'");
+      e.phase = args->string_or("phase", "");
+      e.block_v = args->number_or("block", e.begin_v);
+      e.avail_v = args->number_or("avail", 0.0);
+      e.cost_v = args->number_or("cost", 0.0);
+      e.cost_alpha_v = args->number_or("ca", 0.0);
+      e.cost_beta_v = args->number_or("cb", 0.0);
+      e.overlap_v = args->number_or("ov", 0.0);
+      if (const JsonValue* flow = args->find("flow")) e.flow = flow->as_uint();
+    }
+    ranks[r].events.push_back(std::move(e));
+  }
+  return ranks;
+}
+
+std::vector<RankTrace> read_chrome_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  try {
+    return read_chrome_trace(f);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+}  // namespace lra::obs::prof

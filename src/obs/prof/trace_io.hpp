@@ -1,0 +1,26 @@
+#pragma once
+// Read a Chrome trace written by obs::write_chrome_trace back into in-memory
+// RankTrace buffers. The writer stores every profiling field in the event
+// args at full %.17g precision (raw virtual seconds in "b"/"e", not the
+// lossy microsecond ts/dur), so the analyzer computes bitwise the same
+// answers from a file as from the live buffers.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lra::obs::prof {
+
+/// Parse a Chrome trace-event JSON document into per-rank event buffers
+/// (index = tid). Flow ("s"/"f") and metadata ("M") events are skipped —
+/// they are derivable from the X events' args. Events missing the raw
+/// "b"/"e" args (traces from before the profiler) fall back to ts/dur/1e6.
+/// Throws std::runtime_error on malformed input.
+std::vector<RankTrace> read_chrome_trace(std::istream& is);
+
+/// Same, from a file path.
+std::vector<RankTrace> read_chrome_trace_file(const std::string& path);
+
+}  // namespace lra::obs::prof

@@ -13,6 +13,12 @@ void ReportWriter::write(const JsonObj& obj) {
   ++records_;
 }
 
+void ReportWriter::write_lines(const std::string& jsonl) {
+  out_ << jsonl;
+  for (char c : jsonl)
+    if (c == '\n') ++records_;
+}
+
 void write_telemetry(ReportWriter& w, const std::string& method,
                      const TelemetrySeries& series) {
   for (const IterationSample& s : series) {
@@ -84,6 +90,35 @@ void write_comm_stats(ReportWriter& w, const CommStats& stats) {
         .field("overlapped_requests", overlapped)
         .field("overlap_seconds", overlap_s)
         .field("coll_seconds_max", coll_s);
+  }
+  // Per-kind fault breakdown summed over ranks (all zero without a plan):
+  // sender-side injections and receiver-side detections stay distinguishable
+  // so reports can verify e.g. every duplicate was dropped.
+  {
+    std::map<std::string, std::uint64_t> kinds;
+    auto vsum = [](const std::vector<std::uint64_t>& v) {
+      std::uint64_t n = 0;
+      for (std::uint64_t x : v) n += x;
+      return n;
+    };
+    for (const auto& c : stats.per_rank) {
+      kinds["msgs_delayed"] += vsum(c.msgs_delayed_to);
+      kinds["msgs_duplicated"] += vsum(c.msgs_duplicated_to);
+      kinds["msgs_corrupted"] += vsum(c.msgs_corrupted_to);
+      kinds["dups_dropped"] += vsum(c.dups_dropped_from);
+      kinds["corrupt_detected"] += vsum(c.corrupt_detected_from);
+      kinds["coll_delay"] += c.coll_delay_faults;
+      kinds["coll_flip"] += c.coll_flip_faults;
+    }
+    std::string fb = "{";
+    bool first = true;
+    for (const auto& [kind, n] : kinds) {
+      if (!first) fb += ',';
+      first = false;
+      fb += '"' + json_escape(kind) + "\":" + std::to_string(n);
+    }
+    fb += '}';
+    o.raw("fault_breakdown", fb);
   }
   o.field("aborted", stats.aborted)
       .field("fault_events", stats.total_fault_events());

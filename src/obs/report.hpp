@@ -34,6 +34,10 @@ class ReportWriter {
   /// Append one record as a single line.
   void write(const JsonObj& obj);
 
+  /// Append pre-serialized JSONL text (one record per '\n'-terminated line),
+  /// e.g. the profiler's record block from prof::write_profile_jsonl.
+  void write_lines(const std::string& jsonl);
+
   int records() const { return records_; }
 
  private:

@@ -22,6 +22,52 @@ const char* to_string(SpanCat cat) {
   return "unknown";
 }
 
+const char* to_string(SpanOp op) {
+  switch (op) {
+    case SpanOp::kGeneric:
+      return "generic";
+    case SpanOp::kCompute:
+      return "compute";
+    case SpanOp::kSend:
+      return "send";
+    case SpanOp::kRecv:
+      return "recv";
+    case SpanOp::kCollPost:
+      return "coll_post";
+    case SpanOp::kCollWait:
+      return "coll_wait";
+  }
+  return "generic";
+}
+
+bool parse_span_op(std::string_view s, SpanOp* out) {
+  if (s == "generic") *out = SpanOp::kGeneric;
+  else if (s == "compute") *out = SpanOp::kCompute;
+  else if (s == "send") *out = SpanOp::kSend;
+  else if (s == "recv") *out = SpanOp::kRecv;
+  else if (s == "coll_post") *out = SpanOp::kCollPost;
+  else if (s == "coll_wait") *out = SpanOp::kCollWait;
+  else return false;
+  return true;
+}
+
+namespace {
+
+/// Display id for Chrome flow arrows (the analyzer pairs edges from the
+/// args fields, not from this): p2p edges mix (src, dst, flow); collective
+/// generations get their own namespace.
+long long p2p_display_id(int src, int dst, std::uint64_t flow) {
+  std::uint64_t h = flow * 0x9e3779b97f4a7c15ull;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 20) ^
+       static_cast<std::uint32_t>(dst);
+  return static_cast<long long>(h & 0x7fffffffffffffffull);
+}
+long long coll_display_id(std::uint64_t flow) {
+  return static_cast<long long>((flow | (1ull << 48)) & 0x7fffffffffffffffull);
+}
+
+}  // namespace
+
 void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
@@ -50,11 +96,39 @@ void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks) {
               .str();
   }
 
+  auto flow_event = [&](const char* ph, long long id, const std::string& name,
+                        std::size_t tid, double ts) {
+    JsonObj f;
+    f.field("name", name)
+        .field("cat", "flow")
+        .field("ph", ph)
+        .field("id", id)
+        .field("ts", ts * 1e6)
+        .field("pid", 0)
+        .field("tid", static_cast<long long>(tid));
+    if (ph[0] == 'f') f.field("bp", "e");
+    sep();
+    os << f.str();
+  };
+
   for (std::size_t r = 0; r < ranks.size(); ++r) {
     for (const TraceEvent& e : ranks[r].events) {
+      // Full-precision (%.17g via JsonObj) copies of every profiling field:
+      // a parsed trace rebuilds the exact in-memory events, so the post-run
+      // analyzer gets bitwise the same answers from a file as from memory.
       JsonObj args;
       if (e.bytes > 0) args.field("bytes", e.bytes);
       if (e.peer >= 0) args.field("peer", e.peer);
+      args.field("b", e.begin_v).field("e", e.end_v);
+      if (e.op != SpanOp::kGeneric) args.field("op", to_string(e.op));
+      if (!e.phase.empty()) args.field("phase", e.phase);
+      if (e.block_v != e.begin_v) args.field("block", e.block_v);
+      if (e.avail_v != 0.0) args.field("avail", e.avail_v);
+      if (e.cost_v != 0.0) args.field("cost", e.cost_v);
+      if (e.cost_alpha_v != 0.0) args.field("ca", e.cost_alpha_v);
+      if (e.cost_beta_v != 0.0) args.field("cb", e.cost_beta_v);
+      if (e.overlap_v != 0.0) args.field("ov", e.overlap_v);
+      if (e.flow != 0) args.field("flow", e.flow);
       JsonObj ev;
       ev.field("name", e.name)
           .field("cat", to_string(e.cat))
@@ -66,6 +140,29 @@ void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks) {
           .raw("args", args.str());
       sep();
       os << ev.str();
+
+      // Dependency-DAG flow arrows: send -> recv per p2p edge, every post ->
+      // every wait per collective generation.
+      if (e.flow != 0) {
+        switch (e.op) {
+          case SpanOp::kSend:
+            flow_event("s", p2p_display_id(static_cast<int>(r), e.peer, e.flow),
+                       e.name, r, e.begin_v);
+            break;
+          case SpanOp::kRecv:
+            flow_event("f", p2p_display_id(e.peer, static_cast<int>(r), e.flow),
+                       e.name, r, e.end_v);
+            break;
+          case SpanOp::kCollPost:
+            flow_event("s", coll_display_id(e.flow), e.name, r, e.begin_v);
+            break;
+          case SpanOp::kCollWait:
+            flow_event("f", coll_display_id(e.flow), e.name, r, e.end_v);
+            break;
+          default:
+            break;
+        }
+      }
     }
   }
   os << "\n]}\n";

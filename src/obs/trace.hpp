@@ -3,11 +3,21 @@
 // RankTrace buffer (written by exactly one thread, so no locking); SimWorld
 // wires the buffers into the RankCtx hooks when tracing is enabled and hands
 // them back after the run. The export format is Chrome trace-event JSON
-// ("X" complete events), loadable in Perfetto / chrome://tracing with one
-// track (tid) per simulated rank.
+// ("X" complete events plus "s"/"f" flow events for the cross-rank
+// dependency DAG), loadable in Perfetto / chrome://tracing with one track
+// (tid) per simulated rank.
 //
 // Tracing is strictly opt-in: a disabled run records nothing, allocates
 // nothing, and leaves every virtual-clock code path untouched.
+//
+// Profiling contract (src/obs/prof): with tracing on, *every* virtual-clock
+// advance on a rank emits exactly one event whose [block_v, end_v] interval
+// abuts the previous event's end — the events tile [0, final clock] with no
+// gaps or overlaps. cost_v carries the exact double the runtime applied
+// (compute charge, p2p transfer, collective cost), so a replay that re-adds
+// the recorded costs reproduces every clock bitwise. flow pairs the send
+// side of a p2p edge with its receive (per (src, dst, tag, seq)) and the
+// posts of a collective generation with its waits.
 
 #include <cstdint>
 #include <iosfwd>
@@ -25,15 +35,58 @@ enum class SpanCat {
 
 const char* to_string(SpanCat cat);
 
+/// What kind of clock advance (if any) an event records — the profiler's
+/// dispatch key. kGeneric marks pre-profiler spans (fault markers, direct
+/// span() calls); the profiler treats a non-zero-length kGeneric as compute.
+enum class SpanOp {
+  kGeneric,   // legacy span / zero-length marker
+  kCompute,   // compute()/charge()/charge_kernel(): clock += cost_v
+  kSend,      // isend post: injection charge cost_v; avail_v = arrival
+  kRecv,      // p2p completion: clock = max(block_v, avail_v)
+  kCollPost,  // zero-length marker at collective post time
+  kCollWait,  // collective completion: clock = max(block_v, avail_v)
+};
+
+const char* to_string(SpanOp op);
+/// Inverse of to_string(SpanOp); false on unknown names.
+bool parse_span_op(std::string_view s, SpanOp* out);
+
 /// One closed span on a rank's virtual timeline.
 struct TraceEvent {
   std::string name;
   SpanCat cat = SpanCat::kCompute;
-  double begin_v = 0.0;  // virtual seconds at span entry
+  double begin_v = 0.0;  // virtual seconds at span entry (post time for waits)
   double end_v = 0.0;    // virtual seconds at span exit (>= begin_v)
   std::uint64_t bytes = 0;  // payload size for comm spans (0 for compute)
   int peer = -1;            // p2p peer rank (-1 for compute/collectives)
+
+  // --- profiling fields (src/obs/prof) ---
+  SpanOp op = SpanOp::kGeneric;
+  std::string phase;        // innermost PhaseScope at post time ("" = none)
+  double block_v = 0.0;     // clock before this op's advance (tiling begin)
+  double avail_v = 0.0;     // absolute arrival (p2p) / finish (collective)
+  double cost_v = 0.0;      // applied modeled cost, the exact charged double
+  double cost_alpha_v = 0.0;  // informational alpha/beta decomposition of
+  double cost_beta_v = 0.0;   // cost_v (sums approximately to cost_v)
+  double overlap_v = 0.0;   // overlap credited at this completion
+  std::uint64_t flow = 0;   // p2p: pack(tag, seq); collective: gen + 1
+
+  /// Clock advance this event accounts for (its tile on the timeline).
+  double advance() const {
+    return op == SpanOp::kCompute || op == SpanOp::kSend ||
+                   op == SpanOp::kGeneric
+               ? end_v - begin_v
+               : end_v - block_v;
+  }
 };
+
+/// Pack a p2p (tag, per-(src,tag) sequence) pair into a flow id. Together
+/// with the (sender, receiver) pair carried by the events' tid/peer fields
+/// this identifies a message edge exactly (injective for tag < 2^31).
+inline std::uint64_t p2p_flow_key(int tag, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) << 32) |
+         (seq & 0xffffffffull);
+}
 
 /// Append-only buffer owned by one simulated rank.
 struct RankTrace {
@@ -41,13 +94,24 @@ struct RankTrace {
 
   void span(std::string name, SpanCat cat, double begin_v, double end_v,
             std::uint64_t bytes = 0, int peer = -1) {
-    events.push_back(TraceEvent{std::move(name), cat, begin_v, end_v, bytes, peer});
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.begin_v = begin_v;
+    e.end_v = end_v;
+    e.bytes = bytes;
+    e.peer = peer;
+    e.block_v = begin_v;
+    events.push_back(std::move(e));
   }
+  void push(TraceEvent e) { events.push_back(std::move(e)); }
 };
 
-/// Emit Chrome trace-event JSON: one "X" event per span, virtual seconds
-/// mapped to microseconds, pid 0 / tid = rank, plus metadata events naming
-/// the tracks ("rank 0", "rank 1", ...).
+/// Emit Chrome trace-event JSON: one "X" event per span (args carry the
+/// profiling fields in full %.17g precision, so a parsed trace round-trips
+/// bitwise), flow "s"/"f" pairs for p2p edges and collective post->finish
+/// edges, virtual seconds mapped to microseconds, pid 0 / tid = rank, plus
+/// metadata events naming the tracks ("rank 0", "rank 1", ...).
 void write_chrome_trace(std::ostream& os, const std::vector<RankTrace>& ranks);
 
 /// Same, to a file. Throws std::runtime_error if the file cannot be opened.

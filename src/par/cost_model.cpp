@@ -69,6 +69,42 @@ double CostModel::ring_allgather(int nranks, std::size_t total_bytes) const {
   return static_cast<double>(nranks - 1) * p2p(seg);
 }
 
+CostTerms CostModel::p2p_terms(std::size_t bytes) const {
+  return {alpha, beta * static_cast<double>(bytes)};
+}
+
+CostTerms CostModel::tree_terms(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return {};
+  const double l = static_cast<double>(ceil_log2(nranks));
+  return {l * alpha, l * beta * static_cast<double>(bytes)};
+}
+
+CostTerms CostModel::coll_allreduce_terms(int nranks,
+                                          std::size_t bytes) const {
+  if (nranks <= 1) return {};
+  if (resolve(nranks, bytes) == CommAlgo::kRing) {
+    const auto p = static_cast<std::size_t>(nranks);
+    const std::size_t seg = (bytes + p - 1) / p;
+    const double s = 2.0 * static_cast<double>(nranks - 1);
+    return {s * alpha, s * beta * static_cast<double>(seg)};
+  }
+  const double s = 2.0 * static_cast<double>(ceil_log2(nranks));
+  return {s * alpha, s * beta * static_cast<double>(bytes)};
+}
+
+CostTerms CostModel::coll_allgather_terms(int nranks,
+                                          std::size_t total_bytes) const {
+  if (nranks <= 1) return {};
+  if (resolve(nranks, total_bytes) == CommAlgo::kRing) {
+    const auto p = static_cast<std::size_t>(nranks);
+    const std::size_t seg = (total_bytes + p - 1) / p;
+    const double s = static_cast<double>(nranks - 1);
+    return {s * alpha, s * beta * static_cast<double>(seg)};
+  }
+  const double s = static_cast<double>(ceil_log2(nranks));
+  return {s * alpha, s * beta * static_cast<double>(total_bytes)};
+}
+
 CommAlgo CostModel::resolve(int nranks, std::size_t bytes) const {
   if (comm_algo != CommAlgo::kAuto) return comm_algo;
   if (nranks <= 1) return CommAlgo::kTree;

@@ -28,6 +28,15 @@ const char* to_string(CommAlgo a);
 /// on anything else.
 bool parse_comm_algo(const std::string& s, CommAlgo* out);
 
+/// Latency/bandwidth decomposition of a modeled cost, used by the profiler's
+/// what-if projections (alpha = 0 / beta = 0). Informational: the *charged*
+/// cost always comes from the scalar formulas below (kept bit-identical to
+/// the pre-profiler runtime); alpha_t + beta_t equals it only up to rounding.
+struct CostTerms {
+  double alpha_t = 0.0;  // latency share, seconds
+  double beta_t = 0.0;   // bandwidth share, seconds
+};
+
 struct CostModel {
   double alpha = 2.0e-6;  // per-message latency, seconds
   double beta = 8.0e-10;  // per-byte transfer time, seconds
@@ -69,6 +78,12 @@ struct CostModel {
   /// Modeled allgather cost of `total_bytes` under the resolved algorithm.
   double coll_allgather(int nranks, std::size_t total_bytes,
                         CommAlgo* chosen = nullptr) const;
+
+  // Alpha/beta decompositions of the formulas above (see CostTerms).
+  CostTerms p2p_terms(std::size_t bytes) const;
+  CostTerms tree_terms(int nranks, std::size_t bytes) const;
+  CostTerms coll_allreduce_terms(int nranks, std::size_t bytes) const;
+  CostTerms coll_allgather_terms(int nranks, std::size_t total_bytes) const;
 
   static int ceil_log2(int p);
 };

@@ -43,6 +43,7 @@ SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
   const double v0 = vclock_;
 
   double transfer = world_->cost_.p2p(nbytes);
+  CostTerms terms = world_->cost_.p2p_terms(nbytes);
   const sim::FaultPlan* fp = world_->fault_plan_;
   std::uint64_t edge = 0;
   std::uint64_t seq = 0;
@@ -54,6 +55,8 @@ SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
         sim::fault_uniform(fp->seed, sim::FaultStream::kDelay, edge, seq) <
             fp->delay_prob) {
       transfer *= fp->delay_factor;
+      terms.alpha_t *= fp->delay_factor;
+      terms.beta_t *= fp->delay_factor;
       counters_.msgs_delayed_to[dst] += 1;
       trace_fault("fault:delay", nbytes, dst);
     }
@@ -64,6 +67,9 @@ SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
   const double arrival = vclock_ + transfer;
 
   SimWorld::Message msg{tag, std::move(data), arrival};
+  msg.transfer_cost = transfer;
+  msg.transfer_alpha = terms.alpha_t;
+  msg.transfer_beta = terms.beta_t;
   if (fp) {
     // Checksum the payload *before* any flip, like a sender-side CRC; the
     // receiver recomputes and detects the in-flight corruption.
@@ -83,9 +89,11 @@ SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
   // Buffered send: the sender pays only the injection latency, at post time
   // — so an isend request is born complete and wait() on it is free.
   vclock_ += world_->cost_.alpha;
+  std::uint64_t match_seq = 0;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    msg.seq = box.send_seq[tag]++;
+    match_seq = box.send_seq[tag]++;
+    msg.seq = match_seq;
     if (dup) {
       SimWorld::Message copy = msg;  // same payload (post-flip), arrival, seq
       copy.dup_copy = true;
@@ -97,15 +105,31 @@ SimRequest RankCtx::isend_bytes(int dst, std::vector<std::byte> data,
     box.depth_hwm = std::max(box.depth_hwm, box.per_src_queue.size());
   }
   box.cv.notify_all();
-  if (dup) {
-    counters_.msgs_duplicated_to[dst] += 1;
-    trace_fault("fault:dup", nbytes, dst);
-  }
+  if (dup) counters_.msgs_duplicated_to[dst] += 1;
   counters_.msgs_sent_to[dst] += 1;
   counters_.bytes_sent_to[dst] += nbytes;
-  if (trace_)
-    trace_->span("send->" + std::to_string(dst), obs::SpanCat::kP2P, v0,
-                 vclock_, nbytes, dst);
+  if (trace_) {
+    obs::TraceEvent e;
+    e.name = "send->" + std::to_string(dst);
+    e.cat = obs::SpanCat::kP2P;
+    e.op = obs::SpanOp::kSend;
+    e.phase = phases_.top();
+    e.begin_v = v0;
+    e.block_v = v0;
+    e.end_v = vclock_;          // injection-latency charge
+    e.bytes = nbytes;
+    e.peer = dst;
+    e.cost_v = world_->cost_.alpha;  // the exact charged double
+    e.avail_v = arrival;             // transfer completion on the wire
+    e.cost_alpha_v = terms.alpha_t;  // transfer decomposition (edge cost)
+    e.cost_beta_v = terms.beta_t;
+    e.flow = obs::p2p_flow_key(tag, match_seq);
+    trace_->push(std::move(e));
+  }
+  // Marker after the kSend event: the clock already advanced past v0, so
+  // emitting it earlier would break the tiling contract (block_v must equal
+  // the previous event's end_v).
+  if (dup) trace_fault("fault:dup", nbytes, dst);
 
   SimRequest req;
   req.kind_ = SimRequest::Kind::kSend;
@@ -129,6 +153,7 @@ SimRequest RankCtx::irecv_bytes(int src, int tag) {
   req.kind_ = SimRequest::Kind::kRecv;
   req.peer_ = src;
   req.tag_ = tag;
+  req.phase_ = phases_.top();  // the phase that initiated the transfer
   req.post_vtime_ = vclock_;
   {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -157,13 +182,34 @@ bool RankCtx::try_complete_recv(SimRequest& req,
       SimWorld::Message msg = std::move(*it);
       q.erase(it);
       lock.unlock();
-      record_overlap(req.post_vtime_, v_entry, msg.arrival_vtime);
+      const double ov =
+          record_overlap(req.post_vtime_, v_entry, msg.arrival_vtime);
+      // Tiling clock: the value *before* this completion's fold. In a
+      // waitall batch earlier completions already advanced past v_entry, so
+      // this — not v_entry — is where this event's timeline tile begins.
+      const double v_block = vclock_;
       vclock_ = std::max(vclock_, msg.arrival_vtime);
       counters_.msgs_recv_from[src] += 1;
       counters_.bytes_recv_from[src] += msg.data.size();
-      if (trace_)
-        trace_->span("recv<-" + std::to_string(src), obs::SpanCat::kP2P,
-                     req.post_vtime_, vclock_, msg.data.size(), src);
+      if (trace_) {
+        obs::TraceEvent e;
+        e.name = "recv<-" + std::to_string(src);
+        e.cat = obs::SpanCat::kP2P;
+        e.op = obs::SpanOp::kRecv;
+        e.phase = req.phase_;
+        e.begin_v = req.post_vtime_;
+        e.block_v = v_block;
+        e.end_v = vclock_;
+        e.bytes = msg.data.size();
+        e.peer = src;
+        e.avail_v = msg.arrival_vtime;
+        e.cost_v = msg.transfer_cost;
+        e.cost_alpha_v = msg.transfer_alpha;
+        e.cost_beta_v = msg.transfer_beta;
+        e.overlap_v = ov;
+        e.flow = obs::p2p_flow_key(req.tag_, msg.seq);
+        trace_->push(std::move(e));
+      }
       if (msg.has_checksum &&
           sim::payload_checksum(msg.data.data(), msg.data.size()) !=
               msg.checksum) {
@@ -237,7 +283,7 @@ std::vector<std::byte> RankCtx::recv_bytes(int src, int tag) {
 
 CollRequest RankCtx::ipost_exchange(std::vector<std::byte> contribution,
                                     double modeled_cost, const char* label,
-                                    CommAlgo algo) {
+                                    CommAlgo algo, CostTerms terms) {
   const sim::FaultPlan* fp = world_->fault_plan_;
   bool flip_here = false;
   if (fp) {
@@ -247,6 +293,8 @@ CollRequest RankCtx::ipost_exchange(std::vector<std::byte> contribution,
         sim::fault_uniform(fp->seed, sim::FaultStream::kCollDelay, me, seq) <
             fp->delay_prob) {
       modeled_cost *= fp->delay_factor;
+      terms.alpha_t *= fp->delay_factor;
+      terms.beta_t *= fp->delay_factor;
       counters_.coll_delay_faults += 1;
       trace_fault("fault:coll-delay", contribution.size());
     }
@@ -269,7 +317,25 @@ CollRequest RankCtx::ipost_exchange(std::vector<std::byte> contribution,
   req.post_vtime_ = vclock_;
   req.nbytes_ = contribution.size();
   req.label_ = label;
+  req.phase_ = phases_.top();
   req.algo_ = algo;
+
+  // Zero-length post marker: the dependency-DAG source of this collective's
+  // cross-rank edge (the finish time is a max over these post clocks), and
+  // the replay anchor for the profiler's what-if projections.
+  if (trace_) {
+    obs::TraceEvent e;
+    e.name = label;
+    e.cat = obs::SpanCat::kCollective;
+    e.op = obs::SpanOp::kCollPost;
+    e.phase = req.phase_;
+    e.begin_v = vclock_;
+    e.block_v = vclock_;
+    e.end_v = vclock_;
+    e.bytes = req.nbytes_;
+    e.flow = static_cast<std::uint64_t>(req.gen_) + 1;
+    trace_->push(std::move(e));
+  }
 
   SimWorld::CollectiveCtx& c = world_->coll_;
   {
@@ -281,7 +347,11 @@ CollRequest RankCtx::ipost_exchange(std::vector<std::byte> contribution,
     g.contrib[rank_] = std::move(contribution);
     if (flip_here) g.corrupt = true;
     g.vt_max = std::max(g.vt_max, vclock_);
-    g.cost_max = std::max(g.cost_max, modeled_cost);
+    if (modeled_cost > g.cost_max) {
+      g.cost_max = modeled_cost;
+      g.cost_alpha = terms.alpha_t;
+      g.cost_beta = terms.beta_t;
+    }
     if (++g.arrived == world_->nranks_) {
       // Finish time is computed from the *post* clocks: ranks that post
       // early and compute until their wait genuinely overlap the transfer.
@@ -311,6 +381,8 @@ std::vector<std::vector<std::byte>> RankCtx::wait_exchange(CollRequest& req) {
   if (!g.done) throw SimAbort{};
   const double vt_out = g.vt_out;
   const double cost = g.cost_max;
+  const double cost_alpha = g.cost_alpha;
+  const double cost_beta = g.cost_beta;
   const bool corrupt = g.corrupt;
   std::vector<std::vector<std::byte>> result = g.contrib;  // every rank's copy
   // The generation record lives until all ranks consumed it; a corrupted one
@@ -318,7 +390,8 @@ std::vector<std::vector<std::byte>> RankCtx::wait_exchange(CollRequest& req) {
   if (!corrupt && ++g.consumed == world_->nranks_) c.gens.erase(it);
   lock.unlock();
 
-  record_overlap(req.post_vtime_, vclock_, vt_out);
+  const double ov = record_overlap(req.post_vtime_, vclock_, vt_out);
+  const double v_block = vclock_;  // tiling clock, before the fold
   vclock_ = std::max(vclock_, vt_out);
   req.done_ = true;
   req.complete_vtime_ = vclock_;
@@ -326,9 +399,24 @@ std::vector<std::vector<std::byte>> RankCtx::wait_exchange(CollRequest& req) {
   counters_.collective_bytes[req.label_] += req.nbytes_;
   counters_.collective_algo_calls[to_string(req.algo_)] += 1;
   counters_.coll_seconds += cost;
-  if (trace_)
-    trace_->span(req.label_, obs::SpanCat::kCollective, req.post_vtime_,
-                 vclock_, req.nbytes_);
+  if (trace_) {
+    obs::TraceEvent e;
+    e.name = req.label_;
+    e.cat = obs::SpanCat::kCollective;
+    e.op = obs::SpanOp::kCollWait;
+    e.phase = req.phase_;
+    e.begin_v = req.post_vtime_;
+    e.block_v = v_block;
+    e.end_v = vclock_;
+    e.bytes = req.nbytes_;
+    e.avail_v = vt_out;
+    e.cost_v = cost;
+    e.cost_alpha_v = cost_alpha;
+    e.cost_beta_v = cost_beta;
+    e.overlap_v = ov;
+    e.flow = static_cast<std::uint64_t>(req.gen_) + 1;
+    trace_->push(std::move(e));
+  }
   if (corrupt) {
     world_->abort_run();
     throw sim::CommFaultError(
@@ -342,14 +430,15 @@ std::vector<std::vector<std::byte>> RankCtx::wait_exchange(CollRequest& req) {
 
 std::vector<std::vector<std::byte>> RankCtx::exchange_all(
     std::vector<std::byte> contribution, double modeled_cost,
-    const char* label) {
+    const char* label, CostTerms terms) {
   CollRequest req = ipost_exchange(std::move(contribution), modeled_cost,
-                                   label, CommAlgo::kTree);
+                                   label, CommAlgo::kTree, terms);
   return wait_exchange(req);
 }
 
 void RankCtx::barrier() {
-  exchange_all({}, world_->cost_.tree(world_->nranks_, 8), "barrier");
+  exchange_all({}, world_->cost_.tree(world_->nranks_, 8), "barrier",
+               world_->cost_.tree_terms(world_->nranks_, 8));
 }
 
 void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
@@ -357,8 +446,10 @@ void RankCtx::bcast_bytes(std::vector<std::byte>& buf, int root) {
   const double cost = world_->cost_.tree(world_->nranks_, buf.size());
   // Non-roots do not know the size yet; the cost max over ranks is what
   // counts, and the root supplies the true one.
-  auto all = exchange_all(std::move(contrib),
-                          rank_ == root ? cost : 0.0, "bcast");
+  auto all = exchange_all(
+      std::move(contrib), rank_ == root ? cost : 0.0, "bcast",
+      rank_ == root ? world_->cost_.tree_terms(world_->nranks_, buf.size())
+                    : CostTerms{});
   buf = std::move(all[root]);
 }
 
@@ -369,7 +460,9 @@ CollRequest RankCtx::iallreduce_sum(std::vector<double> local) {
       world_->cost_.coll_allreduce(world_->nranks_, nbytes, &algo);
   std::vector<std::byte> b(nbytes);
   std::memcpy(b.data(), local.data(), nbytes);
-  CollRequest req = ipost_exchange(std::move(b), cost, "allreduce", algo);
+  CollRequest req = ipost_exchange(
+      std::move(b), cost, "allreduce", algo,
+      world_->cost_.coll_allreduce_terms(world_->nranks_, nbytes));
   req.elems_ = local.size();
   return req;
 }
@@ -401,7 +494,9 @@ double RankCtx::allreduce_max(double x) {
   CommAlgo algo = CommAlgo::kTree;
   const double cost =
       world_->cost_.coll_allreduce(world_->nranks_, sizeof(double), &algo);
-  CollRequest req = ipost_exchange(std::move(b), cost, "allreduce", algo);
+  CollRequest req = ipost_exchange(
+      std::move(b), cost, "allreduce", algo,
+      world_->cost_.coll_allreduce_terms(world_->nranks_, sizeof(double)));
   auto all = wait_exchange(req);
   double mx = x;
   for (const auto& blob : all) {
@@ -425,7 +520,9 @@ CollRequest RankCtx::iallgatherv(const std::vector<double>& local) {
   CommAlgo algo = CommAlgo::kTree;
   const double cost = world_->cost_.coll_allgather(
       world_->nranks_, world_->nranks_ * nbytes, &algo);
-  return ipost_exchange(std::move(b), cost, "allgatherv", algo);
+  return ipost_exchange(std::move(b), cost, "allgatherv", algo,
+                        world_->cost_.coll_allgather_terms(
+                            world_->nranks_, world_->nranks_ * nbytes));
 }
 
 std::vector<double> RankCtx::wait_allgatherv(CollRequest& req) {
@@ -449,7 +546,10 @@ std::vector<long long> RankCtx::allgather(long long x) {
   CommAlgo algo = CommAlgo::kTree;
   const double cost = world_->cost_.coll_allgather(
       world_->nranks_, world_->nranks_ * sizeof(long long), &algo);
-  CollRequest req = ipost_exchange(std::move(b), cost, "allgather", algo);
+  CollRequest req = ipost_exchange(
+      std::move(b), cost, "allgather", algo,
+      world_->cost_.coll_allgather_terms(
+          world_->nranks_, world_->nranks_ * sizeof(long long)));
   auto all = wait_exchange(req);
   std::vector<long long> out;
   out.reserve(all.size());

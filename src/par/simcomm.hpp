@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/prof/phase.hpp"
 #include "obs/trace.hpp"
 #include "par/cost_model.hpp"
 #include "sim/fault/fault.hpp"
@@ -120,6 +121,7 @@ class SimRequest {
   int peer_ = -1;
   int tag_ = 0;
   std::uint64_t ticket_ = 0;  // per-(src,tag) match sequence (receives)
+  const char* phase_ = "";    // innermost PhaseScope at post time
   double post_vtime_ = 0.0;
   double complete_vtime_ = 0.0;
   bool done_ = false;
@@ -150,6 +152,7 @@ class CollRequest {
   std::size_t nbytes_ = 0;  // local contribution size (counters)
   std::size_t elems_ = 0;   // element count for typed waits
   const char* label_ = "";
+  const char* phase_ = "";  // innermost PhaseScope at post time
   CommAlgo algo_ = CommAlgo::kTree;
   bool done_ = false;
 };
@@ -167,9 +170,17 @@ class RankCtx {
   int size() const;
   double vtime() const { return vclock_; }
   /// Add modeled seconds to this rank's virtual clock.
-  void charge(double seconds) { vclock_ += seconds; }
+  void charge(double seconds) {
+    const double v0 = vclock_;
+    vclock_ += seconds;
+    trace_compute("charge", v0, seconds);
+  }
 
   const CostModel& cost() const;
+
+  /// Phase-annotation stack (obs::prof::PhaseScope pushes/pops here). Pure
+  /// pointer bookkeeping — never touches the clock or the heap.
+  obs::prof::PhaseStack& phases() { return phases_; }
 
   /// Run `f`, charging its thread-CPU time to the virtual clock.
   template <typename F>
@@ -178,13 +189,15 @@ class RankCtx {
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
       const double dt = straggle(thread_cpu_seconds() - t0);
+      const double v0 = vclock_;
       vclock_ += dt;
-      trace_compute("compute", dt);
+      trace_compute("compute", v0, dt);
     } else {
       decltype(auto) r = f();
       const double dt = straggle(thread_cpu_seconds() - t0);
+      const double v0 = vclock_;
       vclock_ += dt;
-      trace_compute("compute", dt);
+      trace_compute("compute", v0, dt);
       return r;
     }
   }
@@ -196,24 +209,27 @@ class RankCtx {
     if constexpr (std::is_void_v<decltype(f())>) {
       f();
       const double dt = straggle(thread_cpu_seconds() - t0);
+      const double v0 = vclock_;
       vclock_ += dt;
       kernel_time_[kernel] += dt;
-      trace_compute(kernel, dt);
+      trace_compute(kernel, v0, dt);
     } else {
       decltype(auto) r = f();
       const double dt = straggle(thread_cpu_seconds() - t0);
+      const double v0 = vclock_;
       vclock_ += dt;
       kernel_time_[kernel] += dt;
-      trace_compute(kernel, dt);
+      trace_compute(kernel, v0, dt);
       return r;
     }
   }
 
   /// Charge modeled communication seconds to a named kernel as well.
   void charge_kernel(const std::string& kernel, double seconds) {
+    const double v0 = vclock_;
     vclock_ += seconds;
     kernel_time_[kernel] += seconds;
-    trace_compute(kernel, seconds);
+    trace_compute(kernel, v0, seconds);
   }
 
   // --- point-to-point (buffered send, blocking receive) ---
@@ -288,10 +304,13 @@ class RankCtx {
   /// Every rank receives every rank's contribution (the primitive all other
   /// collectives are built on). `modeled_cost` is added to the synchronized
   /// clock; pass the op-appropriate CostModel term. `label` names the
-  /// operation in the comm counters and the event trace.
+  /// operation in the comm counters and the event trace. `terms` optionally
+  /// decomposes `modeled_cost` into alpha/beta shares for the profiler's
+  /// what-if projections; a default-zero decomposition with a nonzero cost is
+  /// treated as "unknown" by the analyzer (the cost survives both what-ifs).
   std::vector<std::vector<std::byte>> exchange_all(
       std::vector<std::byte> contribution, double modeled_cost,
-      const char* label = "exchange_all");
+      const char* label = "exchange_all", CostTerms terms = {});
 
   void bcast_bytes(std::vector<std::byte>& buf, int root);
   std::vector<double> allreduce_sum(std::vector<double> local);
@@ -329,10 +348,12 @@ class RankCtx {
 
   /// Post a contribution to the next collective generation; does not block
   /// and does not advance the clock. The typed i-collectives and the
-  /// blocking exchange_all are built on this.
+  /// blocking exchange_all are built on this. `terms` is the informational
+  /// alpha/beta decomposition of `modeled_cost` (profiler what-ifs); the
+  /// charged cost is always `modeled_cost` itself.
   CollRequest ipost_exchange(std::vector<std::byte> contribution,
                              double modeled_cost, const char* label,
-                             CommAlgo algo);
+                             CommAlgo algo, CostTerms terms = {});
   /// Block until the request's generation completes; synchronizes the clock
   /// and returns every rank's contribution.
   std::vector<std::vector<std::byte>> wait_exchange(CollRequest& req);
@@ -352,12 +373,24 @@ class RankCtx {
   /// (wait/waitall are thin wrappers). `v_entry` as in try_complete_recv.
   void wait_complete(SimRequest& req, double v_entry);
 
-  /// Record a compute span ending at the current virtual clock. Runs after
-  /// the CPU-time measurement window closes, so tracing never inflates the
-  /// charged time.
-  void trace_compute(const std::string& name, double dt) {
-    if (trace_)
-      trace_->span(name, obs::SpanCat::kCompute, vclock_ - dt, vclock_);
+  /// Record a compute span [v0, vclock_] for an advance of `dt` modeled
+  /// seconds (v0 is the clock captured *before* the advance, so events tile
+  /// the rank timeline exactly; cost_v = dt lets the profiler replay the
+  /// advance bitwise). Runs after the CPU-time measurement window closes, so
+  /// tracing never inflates the charged time.
+  void trace_compute(const std::string& name, double v0, double dt) {
+    if (trace_) {
+      obs::TraceEvent e;
+      e.name = name;
+      e.cat = obs::SpanCat::kCompute;
+      e.op = obs::SpanOp::kCompute;
+      e.phase = phases_.top();
+      e.begin_v = v0;
+      e.block_v = v0;
+      e.end_v = vclock_;
+      e.cost_v = dt;
+      trace_->push(std::move(e));
+    }
   }
 
   /// Straggler fault: inflate measured CPU time by the plan's factor. The
@@ -374,13 +407,16 @@ class RankCtx {
   /// Overlap reclaimed by a request completing at clock `v_entry` (the
   /// rank's clock when the wait began) for work in flight since `post`
   /// finishing at `avail`: the stretch of [post, avail] the rank spent
-  /// computing instead of blocked.
-  void record_overlap(double post, double v_entry, double avail) {
+  /// computing instead of blocked. Returns the credited seconds (0.0 when
+  /// none) so the completion's trace event can carry it.
+  double record_overlap(double post, double v_entry, double avail) {
     const double ov = std::min(v_entry, avail) - post;
     if (ov > 0.0) {
       counters_.overlap_seconds += ov;
       counters_.overlapped_requests += 1;
+      return ov;
     }
+    return 0.0;
   }
 
   SimWorld* world_;
@@ -394,6 +430,7 @@ class RankCtx {
   std::vector<std::uint64_t> p2p_seq_;
   std::uint64_t coll_seq_ = 0;
   long coll_gen_ = 0;  // program-order index of this rank's collective posts
+  obs::prof::PhaseStack phases_;
   obs::CommCounters counters_;
   obs::RankTrace* trace_ = nullptr;  // null = tracing disabled
 };
@@ -467,6 +504,12 @@ class SimWorld {
     std::vector<std::byte> data;
     double arrival_vtime;  // sender's clock at send + transfer cost
     std::uint64_t seq = 0; // per-(src,tag) send sequence (irecv matching)
+    // Profiler metadata (never read by the clock arithmetic): the exact
+    // transfer double charged by the sender (fault delays included) and its
+    // informational alpha/beta decomposition, stamped onto the receive event.
+    double transfer_cost = 0.0;
+    double transfer_alpha = 0.0;
+    double transfer_beta = 0.0;
     // Fault-layer transport metadata (only meaningful when a plan is
     // installed; zero-initialized otherwise).
     std::uint64_t checksum = 0;  // FNV-1a of the payload *before* any flip
@@ -498,6 +541,10 @@ class SimWorld {
     double vt_max = 0.0;    // max over post-time clocks
     double cost_max = 0.0;  // max over modeled costs (fault delays included)
     double vt_out = 0.0;    // vt_max + cost_max, set when the last rank posts
+    // Alpha/beta decomposition of the winning (max) modeled cost, tracked
+    // alongside the max-fold; informational, profiler only.
+    double cost_alpha = 0.0;
+    double cost_beta = 0.0;
     bool done = false;
     bool corrupt = false;  // flip injected into this generation
     std::vector<std::vector<std::byte>> contrib;

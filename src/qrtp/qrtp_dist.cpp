@@ -2,10 +2,13 @@
 
 #include <numeric>
 
+#include "obs/prof/phase.hpp"
 #include "qrtp/tournament.hpp"
 
 namespace lra {
 namespace {
+
+using obs::prof::PhaseScope;
 
 constexpr int kTagTournament = 71;
 
@@ -25,6 +28,7 @@ CandidateColumns local_winners(const CandidateColumns& local, Index k) {
 
 CandidateColumns qr_tp_dist(RankCtx& ctx, const CandidateColumns& local,
                             Index k, const std::string& kernel) {
+  PhaseScope phase(ctx, "tournament");
   // Stage 1: communication-free local reduction.
   CandidateColumns mine =
       ctx.compute(kernel, [&] { return local_winners(local, k); });
@@ -70,6 +74,7 @@ CandidateColumns qr_tp_dist(RankCtx& ctx, const CandidateColumns& local,
 std::vector<Index> qr_tp_rows_dist(RankCtx& ctx, const Matrix& q_local,
                                    std::span<const Index> global_rows, Index k,
                                    const std::string& kernel) {
+  PhaseScope phase(ctx, "tournament");
   // Local winners among this rank's rows.
   std::vector<Index> win = ctx.compute(
       kernel, [&] { return qr_tp_select_rows(q_local, global_rows, k); });

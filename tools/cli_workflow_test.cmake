@@ -51,8 +51,10 @@ string(FIND "${out}" "faults    : plan" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "benign fault run did not print the fault summary:\n${out}")
 endif()
+set(abort_trace ${WORK_DIR}/cli_test_abort_trace.json)
 execute_process(
   COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --np=2 --faults=flip=1
+          --trace=${abort_trace}
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "approx --faults=flip=1 failed (${rc}):\n${out}\n${err}")
@@ -61,6 +63,45 @@ string(FIND "${out}" "comm-fault" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "flip=1 run did not report comm-fault:\n${out}")
 endif()
+# The aborted run must still flush a valid, analyzable trace: the profile
+# analyzer re-reads it, rebuilds the DAG, and its conservation invariants
+# must hold over the truncated [0, abort] timeline (exit 1 = violation).
+if(NOT EXISTS ${abort_trace})
+  message(FATAL_ERROR "aborted run did not flush its trace: ${abort_trace}")
+endif()
+file(READ ${abort_trace} abort_contents)
+string(FIND "${abort_contents}" "\"traceEvents\"" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "aborted-run trace is not a Chrome trace:\n${abort_contents}")
+endif()
+run(${LRA_CLI} profile --trace=${abort_trace})
+
+# Causal-profile path: --profile prints the attribution table and appends
+# profile records to the report; the standalone analyzer reproduces the
+# same profile from the trace file.
+set(prof_report ${WORK_DIR}/cli_test_prof.jsonl)
+execute_process(
+  COMMAND ${LRA_CLI} approx --mtx=${mtx} --tau=1e-2 --np=2 --profile
+          --trace=${trace} --report=${prof_report}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "approx --profile failed (${rc}):\n${out}\n${err}")
+endif()
+foreach(needle "conservation: ok" "what-if:" "critical path:")
+  string(FIND "${out}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "--profile output is missing \"${needle}\":\n${out}")
+  endif()
+endforeach()
+file(READ ${prof_report} prof_contents)
+foreach(needle "\"type\":\"profile\"" "\"type\":\"profile_rank\""
+        "\"type\":\"profile_phase\"" "\"whatif\"")
+  string(FIND "${prof_contents}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "profile report is missing ${needle}")
+  endif()
+endforeach()
+run(${LRA_CLI} profile --trace=${trace} --report=${prof_report})
 
 # Repro path: a passing oracle config exits 0 via both spellings.
 set(repro ${WORK_DIR}/cli_test_repro.json)
@@ -117,4 +158,5 @@ if(found EQUAL -1)
   message(FATAL_ERROR "--threads=0 did not report 1 worker; got:\n${out}")
 endif()
 
-file(REMOVE ${mtx} ${fact} ${trace} ${report} ${repro})
+file(REMOVE ${mtx} ${fact} ${trace} ${report} ${repro} ${abort_trace}
+     ${prof_report})

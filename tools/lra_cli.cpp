@@ -19,6 +19,15 @@
 //       payload corruption reports status comm-fault, never a crash.
 //       --comm-algo picks the modeled collective algorithm (default tree;
 //       auto switches to ring above the cost model's payload cutoff).
+//       --profile prints a post-run causal profile (per-phase attribution,
+//       critical path, what-if projections) and implies --np; with --report
+//       the profile/profile_rank/profile_phase records are appended too.
+//   lra_cli profile --trace=trace.json [--report=prof.jsonl] [--run=LABEL]
+//       Re-analyze a Chrome trace written by `approx --trace=...`: rebuild
+//       the event DAG, attribute every virtual second per rank to
+//       {compute-by-phase, comm-by-phase, idle}, extract the critical path,
+//       and replay alpha=0 / beta=0 / full-overlap what-if projections.
+//       Exits 1 when a conservation invariant fails (malformed trace).
 //   lra_cli repro --file=case.json [--out=shrunk.json]
 //       Re-execute a differential-oracle repro file dumped by the harness
 //       (also spelled `lra_cli --repro=case.json`). Exit 0 when the oracle
@@ -37,7 +46,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/driver.hpp"
@@ -49,6 +60,8 @@
 #include "core/serialize.hpp"
 #include "dense/svd.hpp"
 #include "gen/presets.hpp"
+#include "obs/prof/profile.hpp"
+#include "obs/prof/trace_io.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "par/pool.hpp"
@@ -69,7 +82,8 @@ using namespace lra;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lra_cli <generate|info|approx|repro|verify> [--flags]\n"
+               "usage: lra_cli <generate|info|approx|profile|repro|verify> "
+               "[--flags]\n"
                "see the header of tools/lra_cli.cpp for details\n");
   return 2;
 }
@@ -145,9 +159,11 @@ int cmd_approx(const Cli& cli) {
   const std::string trace_path = cli.get("trace", "");
   const std::string report_path = cli.get("report", "");
   const std::string fault_spec = cli.get("faults", "");
-  // Spans and fault plans live on simulated ranks, so --trace and --faults
-  // imply the distributed path.
-  const bool needs_np = !trace_path.empty() || !fault_spec.empty();
+  const bool want_profile = cli.has("profile");
+  // Spans and fault plans live on simulated ranks, so --trace, --faults and
+  // --profile imply the distributed path.
+  const bool needs_np = !trace_path.empty() || !fault_spec.empty() ||
+                        want_profile;
   int np = static_cast<int>(cli.get_int("np", needs_np ? 4 : 0));
   if (np < 0) np = 0;
   SimOptions sim;
@@ -186,7 +202,7 @@ int cmd_approx(const Cli& cli) {
   }
 
   if (np > 0) {
-    sim.collect_trace = !trace_path.empty();
+    sim.collect_trace = !trace_path.empty() || want_profile;
     DistDigest g;
     switch (method) {
       case Method::kRandQbEi: {
@@ -237,10 +253,17 @@ int cmd_approx(const Cli& cli) {
                   sim::to_spec(sim.faults).c_str(),
                   static_cast<unsigned long long>(g.comm.total_fault_events()),
                   g.comm.aborted ? ", run aborted" : "");
-    if (sim.collect_trace) {
+    if (!trace_path.empty()) {
+      // Written even when the run aborted on a fault: the partial trace is
+      // still well-formed and analyzable (attribution covers [0, abort]).
       obs::write_chrome_trace_file(trace_path, g.trace);
       std::printf("trace     -> %s (%zu ranks)\n", trace_path.c_str(),
                   g.trace.size());
+    }
+    obs::prof::Profile prof;
+    if (want_profile) {
+      prof = obs::prof::build_profile(g.trace);
+      obs::prof::print_profile(std::cout, prof);
     }
     if (report) {
       obs::write_telemetry(*report, to_string(method), g.telemetry);
@@ -253,8 +276,18 @@ int cmd_approx(const Cli& cli) {
           .field("indicator_rel", g.indicator_rel)
           .field("virtual_seconds", g.virtual_seconds);
       report->write(summary);
+      if (want_profile) {
+        std::ostringstream ss;
+        obs::prof::write_profile_jsonl(ss, prof, to_string(method));
+        report->write_lines(ss.str());
+      }
       std::printf("report    -> %s (%d records)\n", report_path.c_str(),
                   report->records());
+    }
+    if (want_profile && !prof.conserved) {
+      for (const std::string& v : prof.violations)
+        std::fprintf(stderr, "profile violation: %s\n", v.c_str());
+      return 1;
     }
     return 0;
   }
@@ -300,6 +333,33 @@ int cmd_approx(const Cli& cli) {
       return 1;
     }
     std::printf("factors   -> %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_profile(const Cli& cli) {
+  const std::string trace_path = cli.get("trace", "");
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "profile: missing --trace=trace.json\n");
+    return 2;
+  }
+  const std::vector<obs::RankTrace> ranks =
+      obs::prof::read_chrome_trace_file(trace_path);
+  const obs::prof::Profile p = obs::prof::build_profile(ranks);
+  obs::prof::print_profile(std::cout, p);
+  const std::string report_path = cli.get("report", "");
+  if (!report_path.empty()) {
+    obs::ReportWriter report(report_path);
+    std::ostringstream ss;
+    obs::prof::write_profile_jsonl(ss, p, cli.get("run", trace_path));
+    report.write_lines(ss.str());
+    std::printf("report    -> %s (%d records)\n", report_path.c_str(),
+                report.records());
+  }
+  if (!p.conserved) {
+    for (const std::string& v : p.violations)
+      std::fprintf(stderr, "profile violation: %s\n", v.c_str());
+    return 1;
   }
   return 0;
 }
@@ -385,6 +445,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "approx") return cmd_approx(cli);
+    if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "repro") return cmd_repro(cli);
     if (cmd == "verify") return cmd_verify(cli);
   } catch (const std::exception& e) {
