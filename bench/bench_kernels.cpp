@@ -1,28 +1,43 @@
-// bench_kernels — self-timed microbenchmarks of the compute kernels, naive
-// vs blocked variant (support/kernel_variant.hpp), with a bitwise identity
-// gate.
+// bench_kernels — self-timed microbenchmarks of the compute kernels across
+// the four variants (support/kernel_variant.hpp), with correctness gates.
 //
 // For each kernel (gemm_nn, gemm_tn, gemm_nt, spmm, spmm_t, dense_times_csc)
-// and each reference shape the harness runs both variants, takes the median
-// of --reps timed repetitions, and memcmp-compares the two outputs. It writes one
-// JSON document (default BENCH_kernels.json; see EXPERIMENTS.md for the
-// schema) with a record per (kernel, shape, variant): seconds, GFLOP/s, a
-// bytes-moved estimate, and the blocked row's speedup over the naive row.
+// and each reference shape the harness runs naive, blocked, simd-strict and
+// simd, takes the median of --reps timed repetitions each, and gates:
+//
+//   * blocked and simd-strict must be bitwise identical to naive (memcmp) —
+//     the inputs are Gaussian, so the naive zero-skip divergence never fires;
+//   * simd must satisfy the documented ULP bound: per element,
+//     |simd - naive| <= 4 * k_eff * eps * absref, where absref is the same
+//     kernel run on |inputs| (the standard gamma_k forward-error envelope for
+//     a length-k_eff multiply-add chain, for both operand orders, with 2x
+//     margin each).
+//
+// It writes one JSON document (default BENCH_kernels.json; schema
+// bench_kernels/v2, see EXPERIMENTS.md) with a record per (kernel, shape,
+// variant) and a header recording threads, the host ISA + cpu model, and the
+// active autotune config — tools/bench_diff warn-and-skips when the
+// reference ISA differs from the host's.
 //
 //   ./bench_kernels [--threads=N] [--reps=5] [--quick]
 //                   [--out=BENCH_kernels.json]
 //
 // --quick shrinks the shapes for CI smoke runs. Exit status: 0 when every
-// blocked output is bitwise identical to its naive twin, 1 otherwise. The
-// perf numbers are informational (non-gating) — the identity check is the
-// only gate.
+// gate passed, 1 otherwise. The perf numbers are informational here; the
+// regression gate lives in tools/bench_diff.
 //
 // Bytes-moved model (per variant): dense GEMM counts one read of each input
-// and a read+write of C. Sparse kernels count one pass over A's value+index
-// arrays per group of output columns (naive: one column per pass; blocked:
-// kSpmmNb columns per pass) plus one read of B and a read+write of C —
-// that amortized A-traffic is exactly what the column blocking buys.
+// and a read+write of C. spmm/spmm_t count one pass over A's value+index
+// arrays per group of output columns (naive: one column per pass;
+// blocked/simd: kSpmmNb columns) plus one read of B and a read+write of C.
+// dense_times_csc charges the dense operand honestly: naive/blocked stream a
+// column of B per A nonzero (8*m*nnz — the model that PR 4 understated as a
+// single read of B), while the simd row-panel variant packs B once (8*m*k)
+// and re-reads A per panel (apass * ceil(m/ib)); the per-nonzero panel reads
+// are cache-resident by design and not charged.
 
+#include <cfloat>
+#include <cmath>
 #include <cstdio>
 #include <algorithm>
 #include <cstring>
@@ -36,7 +51,9 @@
 #include "gen/spectrum.hpp"
 #include "obs/json.hpp"
 #include "sparse/ops.hpp"
+#include "support/autotune.hpp"
 #include "support/kernel_variant.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
@@ -48,6 +65,36 @@ CscMatrix bench_sparse(Index n, int passes, Index bandwidth,
   return givens_spray(geometric_spectrum(n, 1.0, 0.99),
                       {.left_passes = passes, .right_passes = passes,
                        .bandwidth = bandwidth, .seed = seed});
+}
+
+Matrix abs_matrix(const Matrix& x) {
+  Matrix y = x;
+  for (Index i = 0; i < y.size(); ++i) y.data()[i] = std::fabs(y.data()[i]);
+  return y;
+}
+
+CscMatrix abs_csc(const CscMatrix& s) {
+  CscMatrix t = s;
+  for (double& v : t.values()) v = std::fabs(v);
+  return t;
+}
+
+// Longest per-element accumulation chain of spmm's outputs: nonzeros in A's
+// fullest row (each C(i, q) sums one term per nonzero of row i).
+Index max_row_nnz(const CscMatrix& s) {
+  std::vector<Index> count(static_cast<std::size_t>(s.rows()), 0);
+  for (Index j = 0; j < s.cols(); ++j)
+    for (const Index r : s.col_rows(j)) ++count[static_cast<std::size_t>(r)];
+  Index mx = 0;
+  for (const Index c : count) mx = std::max(mx, c);
+  return mx;
+}
+
+Index max_col_nnz(const CscMatrix& s) {
+  Index mx = 0;
+  for (Index j = 0; j < s.cols(); ++j)
+    mx = std::max(mx, static_cast<Index>(s.col_rows(j).size()));
+  return mx;
 }
 
 struct Row {
@@ -84,35 +131,60 @@ bool bitwise_equal(const Matrix& x, const Matrix& y) {
                       static_cast<std::size_t>(x.size()) * sizeof(double)) == 0);
 }
 
-// Runs one kernel under both variants, appends two rows, and returns whether
-// the outputs matched bit for bit. `run` must overwrite `out` completely.
-template <typename Fn>
+// The documented FMA-path error envelope (see file header / ARCHITECTURE.md).
+bool ulp_within_bound(const Matrix& ref, const Matrix& absref,
+                      const Matrix& got, double keff) {
+  const double tol = 4.0 * keff * DBL_EPSILON;
+  for (Index i = 0; i < ref.size(); ++i) {
+    const double d = std::fabs(got.data()[i] - ref.data()[i]);
+    if (!(d <= tol * absref.data()[i])) return false;
+  }
+  return true;
+}
+
+// One kernel, four variants. `run` must overwrite `out` completely; `run_abs`
+// is the same kernel on abs-valued inputs (the ULP gate's reference
+// magnitude). bytes[] indexes {naive, blocked, simd, simd-strict}.
+template <typename Fn, typename FnAbs>
 bool bench_case(std::vector<Row>& rows, const std::string& kernel,
-                const std::string& shape, double flops,
-                double bytes_naive, double bytes_blocked, int reps,
-                Matrix& out, Fn&& run) {
-  Row naive{kernel, shape, "naive"};
-  Row blocked{kernel, shape, "blocked"};
-
+                const std::string& shape, double flops, const double bytes[4],
+                double keff, int reps, Matrix& out, Fn&& run, FnAbs&& run_abs) {
+  const KernelVariant order[4] = {KernelVariant::kNaive,
+                                  KernelVariant::kBlocked, KernelVariant::kSimd,
+                                  KernelVariant::kSimdStrict};
   set_kernel_variant(KernelVariant::kNaive);
-  naive.seconds = time_median(reps, run);
-  Matrix ref = out;  // copy before the blocked variant overwrites it
+  run_abs();
+  const Matrix absref = out;
 
-  set_kernel_variant(KernelVariant::kBlocked);
-  blocked.seconds = time_median(reps, run);
-
-  const bool same = bitwise_equal(ref, out);
-  naive.gflops = flops / naive.seconds * 1e-9;
-  blocked.gflops = flops / blocked.seconds * 1e-9;
-  naive.bytes_moved = bytes_naive;
-  blocked.bytes_moved = bytes_blocked;
-  blocked.speedup_vs_naive = naive.seconds / blocked.seconds;
-  rows.push_back(naive);
-  rows.push_back(blocked);
-  std::printf("%-16s %-18s naive %8.2f GF/s  blocked %8.2f GF/s  x%.2f  %s\n",
-              kernel.c_str(), shape.c_str(), naive.gflops, blocked.gflops,
-              blocked.speedup_vs_naive, same ? "bits ok" : "BIT MISMATCH");
-  return same;
+  double secs[4];
+  bool bits_ok = true, ulp_ok = true;
+  Matrix ref;
+  for (int v = 0; v < 4; ++v) {
+    set_kernel_variant(order[v]);
+    secs[v] = time_median(reps, run);
+    if (order[v] == KernelVariant::kNaive) {
+      ref = out;
+    } else if (order[v] == KernelVariant::kSimd) {
+      ulp_ok &= ulp_within_bound(ref, absref, out, keff);
+    } else {
+      bits_ok &= bitwise_equal(ref, out);
+    }
+  }
+  for (int v = 0; v < 4; ++v) {
+    Row r{kernel, shape, to_string(order[v])};
+    r.seconds = secs[v];
+    r.gflops = flops / secs[v] * 1e-9;
+    r.bytes_moved = bytes[v];
+    r.speedup_vs_naive = secs[0] / secs[v];
+    rows.push_back(r);
+  }
+  std::printf(
+      "%-16s %-18s naive %7.2f  blocked %7.2f  simd %7.2f  strict %7.2f "
+      "GF/s  %s %s\n",
+      kernel.c_str(), shape.c_str(), flops / secs[0] * 1e-9,
+      flops / secs[1] * 1e-9, flops / secs[2] * 1e-9, flops / secs[3] * 1e-9,
+      bits_ok ? "bits ok" : "BIT MISMATCH", ulp_ok ? "ulp ok" : "ULP FAIL");
+  return bits_ok && ulp_ok;
 }
 
 std::string shape3(Index m, Index k, Index n) {
@@ -129,73 +201,100 @@ int main(int argc, char** argv) {
   const bool quick = cli.has("quick");
   const std::string out_path = cli.get("out", "BENCH_kernels.json");
 
-  bench::print_header("Kernel microbenchmarks: naive vs blocked variants",
+  bench::print_header("Kernel microbenchmarks: naive vs tiled/simd variants",
                       "perf companion to the Section IV complexity model");
-  std::printf("threads = %d, reps = %d%s\n\n", threads, reps,
-              quick ? " (--quick shapes)" : "");
+  std::printf("threads = %d, reps = %d%s, isa = %s, autotune: %s\n\n", threads,
+              reps, quick ? " (--quick shapes)" : "", simd::simd_isa_name(),
+              kernel_config_summary(kernel_config()).c_str());
 
   std::vector<Row> rows;
   bool all_ok = true;
 
   // Dense GEMM reference shapes. Gaussian inputs have no exact zeros, so the
-  // naive kernels' zero-skip never fires and blocked must match bitwise.
+  // naive kernels' zero-skip never fires and blocked/simd-strict must match
+  // bitwise.
   const std::vector<Index> gemm_sizes =
       quick ? std::vector<Index>{128} : std::vector<Index>{256, 512};
   for (const Index n : gemm_sizes) {
     const Matrix a = Matrix::gaussian(n, n, 1);
     const Matrix b = Matrix::gaussian(n, n, 2);
+    const Matrix aa = abs_matrix(a);
+    const Matrix ab = abs_matrix(b);
     Matrix c(n, n);
     const double flops = 2.0 * n * n * n;
-    const double bytes = 8.0 * (3.0 * n * n + n * n);  // A + B + C in/out
+    const double bytes1 = 8.0 * (3.0 * n * n + n * n);  // A + B + C in/out
+    const double bytes[4] = {bytes1, bytes1, bytes1, bytes1};
+    const double keff = static_cast<double>(n);
 
-    all_ok &= bench_case(rows, "gemm_nn", shape3(n, n, n), flops, bytes, bytes,
-                         reps, c, [&] { gemm(c, a, b); });
-    all_ok &= bench_case(rows, "gemm_tn", shape3(n, n, n), flops, bytes, bytes,
-                         reps, c,
-                         [&] { gemm(c, a, b, 1.0, 0.0, Trans::kYes); });
     all_ok &= bench_case(
-        rows, "gemm_nt", shape3(n, n, n), flops, bytes, bytes, reps, c,
-        [&] { gemm(c, a, b, 1.0, 0.0, Trans::kNo, Trans::kYes); });
+        rows, "gemm_nn", shape3(n, n, n), flops, bytes, keff, reps, c,
+        [&] { gemm(c, a, b); }, [&] { gemm(c, aa, ab); });
+    all_ok &= bench_case(
+        rows, "gemm_tn", shape3(n, n, n), flops, bytes, keff, reps, c,
+        [&] { gemm(c, a, b, 1.0, 0.0, Trans::kYes); },
+        [&] { gemm(c, aa, ab, 1.0, 0.0, Trans::kYes); });
+    all_ok &= bench_case(
+        rows, "gemm_nt", shape3(n, n, n), flops, bytes, keff, reps, c,
+        [&] { gemm(c, a, b, 1.0, 0.0, Trans::kNo, Trans::kYes); },
+        [&] { gemm(c, aa, ab, 1.0, 0.0, Trans::kNo, Trans::kYes); });
   }
 
-  // Sparse kernels: an n x n givens spray, k dense columns. The blocked
-  // variants amortize the pass over A's value/index arrays across kSpmmNb
-  // output columns — reflected in the bytes-moved model below. The win
-  // appears once that stream outgrows the last-level cache, so the reference
-  // matrix is deliberately dense-ish and large (~26M nonzeros; override with
-  // --sparse-n / --passes / --bandwidth to probe other regimes).
+  // Sparse kernels: an n x n givens spray, k dense columns. The blocked and
+  // simd variants amortize the pass over A's value/index arrays across
+  // kSpmmNb output columns — reflected in the bytes-moved model below. The
+  // win appears once that stream outgrows the last-level cache, so the
+  // reference matrix is deliberately dense-ish and large (~26M nonzeros;
+  // override with --sparse-n / --passes / --bandwidth to probe other
+  // regimes).
   const Index sn = cli.get_int("sparse-n", quick ? 512 : 8192);
   const int passes = static_cast<int>(cli.get_int("passes", quick ? 2 : 6));
   const Index bandwidth = cli.get_int("bandwidth", 0);
   const Index sk = 32;
   const CscMatrix s = bench_sparse(sn, passes, bandwidth);
+  const CscMatrix sa = abs_csc(s);
   std::printf("sparse A: %ld x %ld, %ld nnz\n", s.rows(), s.cols(), s.nnz());
-  const double apass = static_cast<double>(s.nnz()) * 16.0;  // values + idx
+  const double nnz = static_cast<double>(s.nnz());
+  const double apass = nnz * 16.0;  // values + idx
   const double groups_naive = static_cast<double>(sk);
-  const double groups_blocked = (sk + 3) / 4;  // kSpmmNb = 4
+  const double groups_quad = (sk + 3) / 4;  // kSpmmNb = 4
   const double dense_io = 8.0 * (3.0 * sn * sk);
-  const double sflops = 2.0 * static_cast<double>(s.nnz()) * sk;
+  const double sflops = 2.0 * nnz * sk;
 
   {
     const Matrix b = Matrix::gaussian(sn, sk, 6);
+    const Matrix ab = abs_matrix(b);
     Matrix c;
-    all_ok &= bench_case(rows, "spmm", shape3(sn, sn, sk), sflops,
-                         apass * groups_naive + dense_io,
-                         apass * groups_blocked + dense_io, reps, c,
-                         [&] { spmm_into(c, s, b); });
-    all_ok &= bench_case(rows, "spmm_t", shape3(sn, sn, sk), sflops,
-                         apass * groups_naive + dense_io,
-                         apass * groups_blocked + dense_io, reps, c,
-                         [&] { spmm_t_into(c, s, b); });
+    const double bn = apass * groups_naive + dense_io;
+    const double bq = apass * groups_quad + dense_io;
+    const double bytes[4] = {bn, bq, bq, bq};
+    all_ok &= bench_case(
+        rows, "spmm", shape3(sn, sn, sk), sflops, bytes,
+        static_cast<double>(max_row_nnz(s)), reps, c,
+        [&] { spmm_into(c, s, b); }, [&] { spmm_into(c, sa, ab); });
+    all_ok &= bench_case(
+        rows, "spmm_t", shape3(sn, sn, sk), sflops, bytes,
+        static_cast<double>(max_col_nnz(s)), reps, c,
+        [&] { spmm_t_into(c, s, b); }, [&] { spmm_t_into(c, sa, ab); });
   }
   {
     const Matrix b = Matrix::gaussian(sk, sn, 7);
+    const Matrix ab = abs_matrix(b);
     Matrix c;
-    // dense x CSC reads A once in both variants (row blocking improves
-    // locality, not traffic), so the two bytes figures coincide.
-    all_ok &= bench_case(rows, "dense_times_csc", shape3(sk, sn, sn), sflops,
-                         apass + dense_io, apass + dense_io, reps, c,
-                         [&] { dense_times_csc_into(c, b, s); });
+    // naive/blocked stream a B column per nonzero; the simd row-panel packs
+    // B once and re-reads A per panel (C rmw is charged once in both — it
+    // stays cache-resident within a column).
+    const Index ib = std::min<Index>(kernel_config().dtc.ib,
+                                     Index{8} * simd::simd_width());
+    const double npanels = std::ceil(static_cast<double>(sk) / ib);
+    const double bstream = apass + 8.0 * sk * nnz + 2.0 * 8.0 * sk * sn;
+    const double bpanel =
+        apass * npanels + 8.0 * sk * sn + 2.0 * 8.0 * sk * sn;
+    const double bytes[4] = {bstream, bstream, bpanel, bpanel};
+    all_ok &= bench_case(
+        rows, "dense_times_csc", shape3(sk, sn, sn), sflops, bytes,
+        static_cast<double>(max_col_nnz(s)), reps, c,
+        [&] { dense_times_csc_into(c, b, s); },
+        [&] { dense_times_csc_into(c, ab, sa); });
   }
 
   // Emit BENCH_kernels.json.
@@ -215,15 +314,19 @@ int main(int argc, char** argv) {
   }
   results += ']';
   obs::JsonObj doc;
-  doc.field("schema", "bench_kernels/v1")
+  doc.field("schema", "bench_kernels/v2")
       .field("threads", threads)
       .field("reps", reps)
       .field("quick", quick)
+      .field("isa", simd::simd_isa_name())
+      .field("cpu", simd::cpu_model_name())
+      .field("simd_width", simd::simd_width())
+      .field("autotune", kernel_config_summary(kernel_config()))
       .field("identity_ok", all_ok)
       .raw("results", results);
   std::ofstream out(out_path);
   out << doc.str() << '\n';
-  std::printf("\nwrote %s (%zu rows), identity %s\n", out_path.c_str(),
+  std::printf("\nwrote %s (%zu rows), gates %s\n", out_path.c_str(),
               rows.size(), all_ok ? "ok" : "FAILED");
   return all_ok ? 0 : 1;
 }

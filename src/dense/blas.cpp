@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "par/pool.hpp"
+#include "support/autotune.hpp"
 #include "support/kernel_variant.hpp"
+#include "support/simd.hpp"
 #include "support/workspace.hpp"
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -410,6 +412,305 @@ void gemm_nt_blocked(Matrix& c, const Matrix& a, const Matrix& b,
   gemm_nn_nt_blocked<true>(c, a, b, alpha);
 }
 
+// ---------------------------------------------------------------------------
+// SIMD (vectorized) kernels on support/simd.hpp, autotuned geometry from
+// support/autotune.hpp. Two flavours share every code path via the kFma
+// template flag:
+//
+//   simd         kFma = simd::kHasFma. Each multiply-add is a single-rounding
+//                fused op (vector fmadd in full tiles, scalar std::fma in
+//                edge tiles — the SAME rounding, so an element's bits do not
+//                depend on which path computed it). NOT bitwise comparable
+//                to naive; gated by the ULP bound in bench_kernels and
+//                test_kernels_simd.
+//   simd-strict  kFma = false. Every multiply-add is the two-rounding
+//                round(round(a*b) + c) chain of the seed kernels, so for the
+//                nn/nt drivers each element reproduces naive's bits exactly
+//                (zero-skip caveat aside, as for blocked). The tn path keeps
+//                whole-k scalar dots (gemm_tn_blocked) because vector-lane
+//                dot accumulators would re-associate the reduction.
+//
+// Determinism across geometry and threads: the micro-tile loads its C block,
+// accumulates one KC slab in ascending-p order with one multiply-add per
+// term, and stores back — load/store round-trips are exact and k is never
+// split, so each element's chain is the same for every valid (mc, kc, mv,
+// nr), every thread count, and every full-tile/edge-tile assignment. The
+// autotuner can therefore never change results, only speed.
+// ---------------------------------------------------------------------------
+
+// One multiply-add term, scalar: single-rounding when kFma, else the seed
+// two-rounding chain. Mirrors simd::fmadd / simd::madd per lane.
+template <bool kFma>
+inline double scalar_madd(double a, double b, double c) {
+  return kFma ? std::fma(a, b, c) : a * b + c;
+}
+
+using MicroFn = void (*)(Index kc, const double* LRA_RESTRICT ap,
+                         const double* const* bcols, double alpha,
+                         double* const* ccols);
+
+// Full (MV*width x NR) register tile over one packed A strip.
+template <int MV, int NR, bool kFma>
+void micro_simd(Index kc, const double* LRA_RESTRICT ap,
+                const double* const* bcols, double alpha,
+                double* const* ccols) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  constexpr Index kStride = MV * kW;
+  VecD acc[NR][MV];
+  LRA_UNROLL
+  for (int j = 0; j < NR; ++j)
+    LRA_UNROLL
+    for (int v = 0; v < MV; ++v) acc[j][v] = VecD::load(ccols[j] + v * kW);
+  for (Index p = 0; p < kc; ++p) {
+    const double* LRA_RESTRICT as = ap + p * kStride;
+    VecD av[MV];
+    LRA_UNROLL
+    for (int v = 0; v < MV; ++v) av[v] = VecD::load(as + v * kW);
+    LRA_UNROLL
+    for (int j = 0; j < NR; ++j) {
+      const VecD w = VecD::broadcast(alpha * bcols[j][p]);
+      LRA_UNROLL
+      for (int v = 0; v < MV; ++v)
+        acc[j][v] = kFma ? simd::fmadd(av[v], w, acc[j][v])
+                         : simd::madd(av[v], w, acc[j][v]);
+    }
+  }
+  LRA_UNROLL
+  for (int j = 0; j < NR; ++j)
+    LRA_UNROLL
+    for (int v = 0; v < MV; ++v) acc[j][v].store(ccols[j] + v * kW);
+}
+
+// Widest strip any config can ask for (mv <= 4 vectors of width <= 4) and
+// the widest column tile (nr <= 8).
+constexpr Index kSimdMaxMr = 16;
+constexpr Index kSimdMaxNr = 8;
+
+// Edge tile (mr x nr with mr < stride or nr < the full tile): scalar loop
+// with the same per-term expression as the vector tile, so edge and interior
+// elements carry identical bits in both flavours.
+template <bool kFma>
+void micro_edge_simd(Index kc, Index mr, Index nr, Index stride,
+                     const double* LRA_RESTRICT ap, const double* const* bcols,
+                     double alpha, double* const* ccols) {
+  double acc[kSimdMaxNr][kSimdMaxMr];
+  for (Index jj = 0; jj < nr; ++jj)
+    for (Index r = 0; r < mr; ++r) acc[jj][r] = ccols[jj][r];
+  for (Index p = 0; p < kc; ++p) {
+    const double* LRA_RESTRICT as = ap + p * stride;
+    for (Index jj = 0; jj < nr; ++jj) {
+      const double w = alpha * bcols[jj][p];
+      for (Index r = 0; r < mr; ++r)
+        acc[jj][r] = scalar_madd<kFma>(as[r], w, acc[jj][r]);
+    }
+  }
+  for (Index jj = 0; jj < nr; ++jj)
+    for (Index r = 0; r < mr; ++r) ccols[jj][r] = acc[jj][r];
+}
+
+// The micro-tile shapes the autotuner may pick. A config whose (mv, nr) has
+// no instantiation falls back to the default shape (geometry is a pure perf
+// knob, so remapping is observable only in speed).
+struct MicroEntry {
+  int mv, nr;
+  MicroFn fma, strict;
+};
+constexpr MicroEntry kMicroTable[] = {
+    {1, 4, micro_simd<1, 4, true>, micro_simd<1, 4, false>},
+    {2, 4, micro_simd<2, 4, true>, micro_simd<2, 4, false>},
+    {3, 4, micro_simd<3, 4, true>, micro_simd<3, 4, false>},
+    {4, 4, micro_simd<4, 4, true>, micro_simd<4, 4, false>},
+    {1, 8, micro_simd<1, 8, true>, micro_simd<1, 8, false>},
+    {2, 6, micro_simd<2, 6, true>, micro_simd<2, 6, false>},
+    {2, 8, micro_simd<2, 8, true>, micro_simd<2, 8, false>},
+};
+
+struct SimdGeom {
+  Index mc, kc, mr, nr;
+  MicroFn fn;
+};
+
+template <bool kFma>
+SimdGeom simd_geom() {
+  const KernelConfig& cfg = kernel_config();
+  int mv = cfg.gemm.mv, nr = cfg.gemm.nr;
+  const MicroEntry* hit = nullptr;
+  for (const MicroEntry& e : kMicroTable)
+    if (e.mv == mv && e.nr == nr) hit = &e;
+  if (hit == nullptr) {
+    mv = 2;
+    nr = 4;
+    hit = &kMicroTable[1];
+  }
+  const Index mr = static_cast<Index>(mv) * simd::kWidth;
+  Index mc = cfg.gemm.mc;
+  if (mc % mr != 0) mc += mr - mc % mr;  // keep strips tiling the row block
+  return {mc, cfg.gemm.kc, mr, static_cast<Index>(nr),
+          kFma ? hit->fma : hit->strict};
+}
+
+// Pack A(i0:i1, k0:k1) strip-major with a runtime strip height (the simd
+// twin of pack_a_panel).
+void pack_a_panel_rt(double* LRA_RESTRICT dst, const Matrix& a, Index i0,
+                     Index i1, Index k0, Index k1, Index stride) {
+  for (Index is = i0; is < i1; is += stride) {
+    const Index mr = std::min(stride, i1 - is);
+    for (Index p = k0; p < k1; ++p) {
+      const double* ap = a.col(p) + is;
+      for (Index r = 0; r < mr; ++r) dst[r] = ap[r];
+      for (Index r = mr; r < stride; ++r) dst[r] = 0.0;
+      dst += stride;
+    }
+  }
+}
+
+// Shared simd nn / nt driver: the blocked driver's tiling with autotuned
+// geometry and the vector micro-kernels.
+template <bool kBT, bool kFma>
+void gemm_nn_nt_simd(Matrix& c, const Matrix& a, const Matrix& b,
+                     double alpha) {
+  const Index m = a.rows(), k = a.cols();
+  const Index n = kBT ? b.rows() : b.cols();
+  const SimdGeom g = simd_geom<kFma>();
+  ThreadPool::global().parallel_ranges(
+      Index{0}, n, "gemm", gemm_grain(m, k, n),
+      [&](Index jlo, Index jhi, int /*slice*/) {
+        Workspace::Scope scope;
+        double* pack =
+            scope.doubles(static_cast<std::size_t>(g.mc) * g.kc);
+        double* bpack =
+            kBT ? scope.doubles(static_cast<std::size_t>(kGemmJb) * g.kc)
+                : nullptr;
+        for (Index k0 = 0; k0 < k; k0 += g.kc) {
+          const Index k1 = std::min(k0 + g.kc, k);
+          const Index kc = k1 - k0;
+          for (Index jb0 = jlo; jb0 < jhi; jb0 += kGemmJb) {
+            const Index jb1 = std::min(jb0 + kGemmJb, jhi);
+            if (kBT) pack_b_rows(bpack, b, jb0, jb1 - jb0, k0, k1);
+            for (Index i0 = 0; i0 < m; i0 += g.mc) {
+              const Index i1 = std::min(i0 + g.mc, m);
+              pack_a_panel_rt(pack, a, i0, i1, k0, k1, g.mr);
+              for (Index j = jb0; j < jb1; j += g.nr) {
+                const Index nr = std::min(g.nr, jb1 - j);
+                const double* bcols[kSimdMaxNr];
+                double* ccols[kSimdMaxNr];
+                for (Index jj = 0; jj < nr; ++jj)
+                  bcols[jj] = kBT ? bpack + (j - jb0 + jj) * kc
+                                  : b.col(j + jj) + k0;
+                Index s = 0;
+                for (Index is = i0; is < i1; is += g.mr, ++s) {
+                  const Index mr = std::min(g.mr, i1 - is);
+                  const double* ap = pack + s * kc * g.mr;
+                  for (Index jj = 0; jj < nr; ++jj)
+                    ccols[jj] = c.col(j + jj) + is;
+                  if (mr == g.mr && nr == g.nr) {
+                    g.fn(kc, ap, bcols, alpha, ccols);
+                  } else {
+                    micro_edge_simd<kFma>(kc, mr, nr, g.mr, ap, bcols, alpha,
+                                          ccols);
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+// Canonical vectorized dot: one width-wide accumulator over ascending p, the
+// fixed-order horizontal sum, then the scalar tail. Every simd tn element —
+// interior tile or edge — reduces k through exactly this chain, so the bits
+// are invariant under tiling and thread slicing. (Lane accumulators
+// re-associate the reduction, which is why simd-strict routes tn through the
+// scalar gemm_tn_blocked instead.)
+template <bool kFma>
+double simd_dot(Index k, const double* LRA_RESTRICT x,
+                const double* LRA_RESTRICT y) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  VecD acc = VecD::zero();
+  Index p = 0;
+  for (; p + kW <= k; p += kW)
+    acc = kFma ? simd::fmadd(VecD::load(x + p), VecD::load(y + p), acc)
+               : simd::madd(VecD::load(x + p), VecD::load(y + p), acc);
+  double s = simd::hsum_ordered(acc);
+  for (; p < k; ++p) s = scalar_madd<kFma>(x[p], y[p], s);
+  return s;
+}
+
+// 4x2 tn register tile: eight independent simd_dot chains sharing the a/b
+// vector loads. Element (i, j) computes bit-identical to simd_dot(k, a_i,
+// b_j) by construction.
+template <bool kFma>
+void micro_tn_simd(Index k, const double* LRA_RESTRICT a0,
+                   const double* LRA_RESTRICT a1, const double* LRA_RESTRICT a2,
+                   const double* LRA_RESTRICT a3, const double* LRA_RESTRICT b0,
+                   const double* LRA_RESTRICT b1, double alpha,
+                   double* LRA_RESTRICT c0, double* LRA_RESTRICT c1) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  const double* acols[4] = {a0, a1, a2, a3};
+  VecD acc[4][2];
+  LRA_UNROLL
+  for (int i = 0; i < 4; ++i)
+    LRA_UNROLL
+    for (int j = 0; j < 2; ++j) acc[i][j] = VecD::zero();
+  Index p = 0;
+  for (; p + kW <= k; p += kW) {
+    const VecD bv0 = VecD::load(b0 + p);
+    const VecD bv1 = VecD::load(b1 + p);
+    LRA_UNROLL
+    for (int i = 0; i < 4; ++i) {
+      const VecD av = VecD::load(acols[i] + p);
+      acc[i][0] = kFma ? simd::fmadd(av, bv0, acc[i][0])
+                       : simd::madd(av, bv0, acc[i][0]);
+      acc[i][1] = kFma ? simd::fmadd(av, bv1, acc[i][1])
+                       : simd::madd(av, bv1, acc[i][1]);
+    }
+  }
+  double s[4][2];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j) s[i][j] = simd::hsum_ordered(acc[i][j]);
+  for (; p < k; ++p) {
+    const double bv0 = b0[p], bv1 = b1[p];
+    for (int i = 0; i < 4; ++i) {
+      const double av = acols[i][p];
+      s[i][0] = scalar_madd<kFma>(av, bv0, s[i][0]);
+      s[i][1] = scalar_madd<kFma>(av, bv1, s[i][1]);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    c0[i] += alpha * s[i][0];
+    c1[i] += alpha * s[i][1];
+  }
+}
+
+template <bool kFma>
+void gemm_tn_simd(Matrix& c, const Matrix& a, const Matrix& b, double alpha) {
+  const Index m = a.cols(), k = a.rows(), n = b.cols();
+  ThreadPool::global().parallel_ranges(
+      Index{0}, n, "gemm", gemm_grain(m, k, n),
+      [&](Index jlo, Index jhi, int /*slice*/) {
+        for (Index j0 = jlo; j0 < jhi; j0 += 2) {
+          const Index nr = std::min<Index>(2, jhi - j0);
+          Index i0 = 0;
+          if (nr == 2) {
+            for (; i0 + 4 <= m; i0 += 4)
+              micro_tn_simd<kFma>(k, a.col(i0), a.col(i0 + 1), a.col(i0 + 2),
+                                  a.col(i0 + 3), b.col(j0), b.col(j0 + 1),
+                                  alpha, c.col(j0) + i0, c.col(j0 + 1) + i0);
+          }
+          for (Index jj = 0; jj < nr; ++jj) {
+            const double* bj = b.col(j0 + jj);
+            double* cj = c.col(j0 + jj);
+            for (Index i = i0; i < m; ++i)
+              cj[i] += alpha * simd_dot<kFma>(k, a.col(i), bj);
+          }
+        }
+      });
+}
+
 }  // namespace
 
 void gemm(Matrix& c, const Matrix& a, const Matrix& b, double alpha,
@@ -434,15 +735,43 @@ void gemm(Matrix& c, const Matrix& a, const Matrix& b, double alpha,
   }
   if (alpha == 0.0 || ka == 0) return;
 
-  const bool blocked = kernel_variant() == KernelVariant::kBlocked;
+  const KernelVariant kv = kernel_variant();
   if (ta == Trans::kNo && tb == Trans::kNo) {
-    blocked ? gemm_nn_blocked(c, a, b, alpha) : gemm_nn_naive(c, a, b, alpha);
+    switch (kv) {
+      case KernelVariant::kNaive: gemm_nn_naive(c, a, b, alpha); break;
+      case KernelVariant::kBlocked: gemm_nn_blocked(c, a, b, alpha); break;
+      case KernelVariant::kSimd:
+        gemm_nn_nt_simd<false, simd::kHasFma>(c, a, b, alpha);
+        break;
+      case KernelVariant::kSimdStrict:
+        gemm_nn_nt_simd<false, false>(c, a, b, alpha);
+        break;
+    }
   } else if (ta == Trans::kYes && tb == Trans::kNo) {
-    blocked ? gemm_tn_blocked(c, a, b, alpha) : gemm_tn_naive(c, a, b, alpha);
+    switch (kv) {
+      case KernelVariant::kNaive: gemm_tn_naive(c, a, b, alpha); break;
+      case KernelVariant::kSimd:
+        gemm_tn_simd<simd::kHasFma>(c, a, b, alpha);
+        break;
+      default:
+        // blocked AND simd-strict: whole-k scalar dots are the only tn
+        // shape that reproduces naive's reduction order bitwise.
+        gemm_tn_blocked(c, a, b, alpha);
+        break;
+    }
   } else if (ta == Trans::kNo && tb == Trans::kYes) {
-    blocked ? gemm_nt_blocked(c, a, b, alpha) : gemm_nt_naive(c, a, b, alpha);
+    switch (kv) {
+      case KernelVariant::kNaive: gemm_nt_naive(c, a, b, alpha); break;
+      case KernelVariant::kBlocked: gemm_nt_blocked(c, a, b, alpha); break;
+      case KernelVariant::kSimd:
+        gemm_nn_nt_simd<true, simd::kHasFma>(c, a, b, alpha);
+        break;
+      case KernelVariant::kSimdStrict:
+        gemm_nn_nt_simd<true, false>(c, a, b, alpha);
+        break;
+    }
   } else {
-    // A^T * B^T is not on any hot path; both variants share the naive loop.
+    // A^T * B^T is not on any hot path; every variant shares the naive loop.
     gemm_tt_naive(c, a, b, alpha);
   }
 }

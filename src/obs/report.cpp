@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "support/autotune.hpp"
+#include "support/kernel_variant.hpp"
+#include "support/simd.hpp"
+
 namespace lra::obs {
 
 ReportWriter::ReportWriter(const std::string& path) : out_(path) {
@@ -148,7 +152,12 @@ void write_workspace_stats(ReportWriter& w, const WorkspaceStats& stats) {
       .field("capacity_bytes", static_cast<long long>(stats.capacity))
       .field("high_water_bytes", static_cast<long long>(stats.high_water))
       .field("allocs", static_cast<long long>(stats.allocs))
-      .field("grows", static_cast<long long>(stats.grows));
+      .field("grows", static_cast<long long>(stats.grows))
+      // Which kernel implementations produced the run the arenas served —
+      // perf numbers in a report are not interpretable without these.
+      .field("kernel_variant", to_string(kernel_variant()))
+      .field("simd_isa", simd::simd_isa_name())
+      .field("autotune", kernel_config_summary(kernel_config()));
   w.write(o);
 }
 

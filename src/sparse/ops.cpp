@@ -7,8 +7,16 @@
 
 #include "dense/blas.hpp"
 #include "par/pool.hpp"
+#include "support/autotune.hpp"
 #include "support/kernel_variant.hpp"
+#include "support/simd.hpp"
 #include "support/workspace.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LRA_RESTRICT __restrict
+#else
+#define LRA_RESTRICT
+#endif
 
 namespace lra {
 namespace {
@@ -166,6 +174,186 @@ void dtc_col_blocked(const Matrix& b, const CscMatrix& a, Index j, double* cj) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD sparse kernels (support/simd.hpp). Flavours as in dense/blas.cpp:
+// kFma single-rounding multiply-adds for the `simd` variant, two-rounding
+// madd for `simd-strict`. The strict flavours reproduce the naive kernels'
+// per-element chains bitwise on EVERY input — including the naive spmm
+// zero-skip, which the strict quad preserves via the same all-nonzero check
+// the blocked quad uses.
+// ---------------------------------------------------------------------------
+
+template <bool kFma>
+inline double scalar_madd(double a, double b, double c) {
+  return kFma ? std::fma(a, b, c) : a * b + c;
+}
+
+// spmm quad on an interleaved scratch column block: cpack[kSpmmNb*r + q]
+// holds output column c0+q's row r, so the kSpmmNb accumulators of one A
+// nonzero live in kSpmmNb/width consecutive vectors — one contiguous
+// load/madd/store replaces kSpmmNb scattered cache-line touches. Lanes are
+// distinct output elements; each still accumulates its terms in ascending
+// (j, p) order.
+template <bool kFma, bool kStrict>
+void spmm_quad_simd(const CscMatrix& a, const Matrix& b, Matrix& c, Index c0,
+                    double* LRA_RESTRICT cpack) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  constexpr int kNV = static_cast<int>(kSpmmNb) / kW;
+  const Index m = a.rows();
+  std::fill(cpack, cpack + kSpmmNb * m, 0.0);
+  const double* bq[kSpmmNb];
+  for (Index q = 0; q < kSpmmNb; ++q) bq[q] = b.col(c0 + q);
+  for (Index j = 0; j < a.cols(); ++j) {
+    double wbuf[kSpmmNb];
+    for (Index q = 0; q < kSpmmNb; ++q) wbuf[q] = bq[q][j];
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    const bool all_nonzero = wbuf[0] != 0.0 && wbuf[1] != 0.0 &&
+                             wbuf[2] != 0.0 && wbuf[3] != 0.0;
+    if (!kStrict || all_nonzero) {
+      VecD wv[kNV];
+      LRA_UNROLL
+      for (int v = 0; v < kNV; ++v) wv[v] = VecD::load(wbuf + v * kW);
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        const VecD av = VecD::broadcast(vals[p]);
+        double* LRA_RESTRICT cr = cpack + kSpmmNb * rows[p];
+        LRA_UNROLL
+        for (int v = 0; v < kNV; ++v) {
+          VecD acc = VecD::load(cr + v * kW);
+          acc = kFma ? simd::fmadd(av, wv[v], acc) : simd::madd(av, wv[v], acc);
+          acc.store(cr + v * kW);
+        }
+      }
+    } else {
+      // A zero in dense B: per-lane scalar fallback preserving the naive
+      // kernel's skip exactly.
+      for (Index q = 0; q < kSpmmNb; ++q) {
+        const double w = wbuf[q];
+        if (w == 0.0) continue;
+        for (std::size_t p = 0; p < rows.size(); ++p)
+          cpack[kSpmmNb * rows[p] + q] += vals[p] * w;
+      }
+    }
+  }
+  for (Index q = 0; q < kSpmmNb; ++q) {
+    double* cc = c.col(c0 + q);
+    for (Index i = 0; i < m; ++i) cc[i] = cpack[kSpmmNb * i + q];
+  }
+}
+
+// spmm_t quad on an interleaved B block: bpack[kSpmmNb*r + q] = B(r, c0+q),
+// packed once per quad (cost kSpmmNb*m, amortized over nnz). Per A column
+// the kSpmmNb dots run in kNV vector accumulators; lane q's chain is the
+// naive dot — ascending p from 0.0 — so the strict flavour is bitwise
+// identical to naive on every input.
+template <bool kFma>
+void spmm_t_quad_simd(const CscMatrix& a, const Matrix& b, Matrix& c, Index c0,
+                      double* LRA_RESTRICT bpack) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  constexpr int kNV = static_cast<int>(kSpmmNb) / kW;
+  const Index m = a.rows();
+  for (Index q = 0; q < kSpmmNb; ++q) {
+    const double* bc = b.col(c0 + q);
+    for (Index r = 0; r < m; ++r) bpack[kSpmmNb * r + q] = bc[r];
+  }
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    VecD acc[kNV];
+    LRA_UNROLL
+    for (int v = 0; v < kNV; ++v) acc[v] = VecD::zero();
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const VecD av = VecD::broadcast(vals[p]);
+      const double* br = bpack + kSpmmNb * rows[p];
+      LRA_UNROLL
+      for (int v = 0; v < kNV; ++v)
+        acc[v] = kFma ? simd::fmadd(av, VecD::load(br + v * kW), acc[v])
+                      : simd::madd(av, VecD::load(br + v * kW), acc[v]);
+    }
+    double t[kSpmmNb];
+    for (int v = 0; v < kNV; ++v) acc[v].store(t + v * kW);
+    for (Index q = 0; q < kSpmmNb; ++q) c.col(c0 + q)[j] = t[q];
+  }
+}
+
+// dense_times_csc on a packed row panel: bpack[kk*ibc + r] = B(i0+r, kk), so
+// the panel's slice of every B column is one short contiguous run. One
+// output column keeps its ibc-row slice entirely in registers (nv vector
+// accumulators + a scalar tail), reads ibc contiguous doubles per nonzero,
+// and stores the slice exactly once — versus naive's read-modify-write of
+// the output slice per nonzero. Per element the chain is still ascending-p
+// with one multiply-add per term from 0.0, so strict == naive bitwise.
+template <int NV, bool kFma>
+void dtc_panel_col(Index ibc, Index tail0, Index tailn,
+                   const double* LRA_RESTRICT bpack, const CscMatrix& a,
+                   Index j, double* LRA_RESTRICT cj) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  VecD acc[NV > 0 ? NV : 1];
+  LRA_UNROLL
+  for (int v = 0; v < NV; ++v) acc[v] = VecD::zero();
+  double tacc[kW > 1 ? kW - 1 : 1] = {};
+  const auto rows = a.col_rows(j);
+  const auto vals = a.col_values(j);
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const double w = vals[p];
+    const double* LRA_RESTRICT bp = bpack + rows[p] * ibc;
+    const VecD av = VecD::broadcast(w);
+    LRA_UNROLL
+    for (int v = 0; v < NV; ++v)
+      acc[v] = kFma ? simd::fmadd(av, VecD::load(bp + v * kW), acc[v])
+                    : simd::madd(av, VecD::load(bp + v * kW), acc[v]);
+    for (Index t = 0; t < tailn; ++t)
+      tacc[t] = scalar_madd<kFma>(w, bp[tail0 + t], tacc[t]);
+  }
+  LRA_UNROLL
+  for (int v = 0; v < NV; ++v) acc[v].store(cj + v * kW);
+  for (Index t = 0; t < tailn; ++t) cj[tail0 + t] = tacc[t];
+}
+
+template <bool kFma>
+void dtc_simd(Matrix& c, const Matrix& b, const CscMatrix& a) {
+  using simd::VecD;
+  constexpr int kW = simd::kWidth;
+  const Index m = b.rows(), k = b.cols();
+  const Index ib =
+      std::min<Index>(kernel_config().dtc.ib, Index{8} * kW);
+  const Index grain = a.nnz() * m < kForkWork ? a.cols() + 1 : 1;
+  Workspace::Scope scope;
+  double* bpack = scope.doubles(static_cast<std::size_t>(ib) * k);
+  for (Index i0 = 0; i0 < m; i0 += ib) {
+    const Index ibc = std::min(ib, m - i0);
+    for (Index kk = 0; kk < k; ++kk) {
+      const double* bk = b.col(kk) + i0;
+      double* LRA_RESTRICT d = bpack + kk * ibc;
+      for (Index r = 0; r < ibc; ++r) d[r] = bk[r];
+    }
+    const Index nv = ibc / kW;
+    const Index tail0 = nv * kW;
+    const Index tailn = ibc - tail0;
+    // bpack is read-only inside the fork-join; the caller scope stays alive.
+    ThreadPool::global().parallel_for(
+        Index{0}, a.cols(), "spmm",
+        [&](Index j) {
+          double* cj = c.col(j) + i0;
+          switch (nv) {
+            case 0: dtc_panel_col<0, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 1: dtc_panel_col<1, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 2: dtc_panel_col<2, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 3: dtc_panel_col<3, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 4: dtc_panel_col<4, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 5: dtc_panel_col<5, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 6: dtc_panel_col<6, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            case 7: dtc_panel_col<7, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+            default: dtc_panel_col<8, kFma>(ibc, tail0, tailn, bpack, a, j, cj); break;
+          }
+        },
+        grain);
+  }
+}
+
 // Accumulate y[j0:j1)'s contribution of A's columns into y (no zeroing).
 void spmv_cols_accum(const CscMatrix& a, const double* x, double* y, Index j0,
                      Index j1) {
@@ -242,9 +430,11 @@ void spmm_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
         [&](Index col) { spmm_col_naive(a, b.col(col), c.col(col)); }, grain);
     return;
   }
-  // Blocked: parallel over a fixed grid of kSpmmNb-column blocks (grid
-  // geometry independent of the worker count); per-column math identical to
-  // the naive loop, so blocked == naive bitwise on every input.
+  // Blocked / simd: parallel over a fixed grid of kSpmmNb-column blocks
+  // (grid geometry independent of the worker count). Edge blocks (n not a
+  // multiple of kSpmmNb — grid-determined, never thread-determined) run the
+  // naive column loop in every variant.
+  const KernelVariant kv = kernel_variant();
   const Index nblocks = (n + kSpmmNb - 1) / kSpmmNb;
   const Index grain = a.nnz() * n < kForkWork ? nblocks + 1 : 1;
   ThreadPool::global().parallel_for(
@@ -253,7 +443,18 @@ void spmm_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
         const Index c0 = blk * kSpmmNb;
         const Index c1 = std::min(c0 + kSpmmNb, n);
         if (c1 - c0 == kSpmmNb) {
-          spmm_quad_blocked(a, b, c, c0);
+          if (kv == KernelVariant::kBlocked) {
+            spmm_quad_blocked(a, b, c, c0);
+          } else {
+            Workspace::Scope scope;
+            double* cpack = scope.doubles(
+                static_cast<std::size_t>(kSpmmNb) * a.rows());
+            if (kv == KernelVariant::kSimd) {
+              spmm_quad_simd<simd::kHasFma, false>(a, b, c, c0, cpack);
+            } else {
+              spmm_quad_simd<false, true>(a, b, c, c0, cpack);
+            }
+          }
         } else {
           for (Index col = c0; col < c1; ++col)
             spmm_col_naive(a, b.col(col), c.col(col));
@@ -283,6 +484,7 @@ void spmm_t_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
         grain);
     return;
   }
+  const KernelVariant kv = kernel_variant();
   const Index nblocks = (n + kSpmmNb - 1) / kSpmmNb;
   const Index grain = a.nnz() * n < kForkWork ? nblocks + 1 : 1;
   ThreadPool::global().parallel_for(
@@ -291,7 +493,18 @@ void spmm_t_into(Matrix& c, const CscMatrix& a, const Matrix& b) {
         const Index c0 = blk * kSpmmNb;
         const Index c1 = std::min(c0 + kSpmmNb, n);
         if (c1 - c0 == kSpmmNb) {
-          spmm_t_quad_blocked(a, b, c, c0);
+          if (kv == KernelVariant::kBlocked) {
+            spmm_t_quad_blocked(a, b, c, c0);
+          } else {
+            Workspace::Scope scope;
+            double* bpack = scope.doubles(
+                static_cast<std::size_t>(kSpmmNb) * a.rows());
+            if (kv == KernelVariant::kSimd) {
+              spmm_t_quad_simd<simd::kHasFma>(a, b, c, c0, bpack);
+            } else {
+              spmm_t_quad_simd<false>(a, b, c, c0, bpack);
+            }
+          }
         } else {
           for (Index col = c0; col < c1; ++col)
             spmm_t_col_naive(a, b.col(col), c.col(col));
@@ -310,9 +523,20 @@ void dense_times_csc_into(Matrix& c, const Matrix& b, const CscMatrix& a) {
   assert(b.cols() == a.rows());
   c.reshape(b.rows(), a.cols());
   zero_fill(c);
-  // One output column per column of A; independent across columns.
+  // One output column per column of A; independent across columns. The simd
+  // flavours restructure the sweep into packed row panels (outer) over the
+  // parallel column loop (inner); the others parallelize columns directly.
+  const KernelVariant kv = kernel_variant();
+  if (kv == KernelVariant::kSimd) {
+    dtc_simd<simd::kHasFma>(c, b, a);
+    return;
+  }
+  if (kv == KernelVariant::kSimdStrict) {
+    dtc_simd<false>(c, b, a);
+    return;
+  }
   const Index grain = a.nnz() * b.rows() < kForkWork ? a.cols() + 1 : 1;
-  const bool blocked = kernel_variant() == KernelVariant::kBlocked;
+  const bool blocked = kv == KernelVariant::kBlocked;
   ThreadPool::global().parallel_for(
       Index{0}, a.cols(), "spmm",
       [&](Index j) {

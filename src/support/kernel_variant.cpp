@@ -20,10 +20,10 @@ int from_env() {
     if (parse_kernel_variant(env, &v)) return static_cast<int>(v);
     std::fprintf(stderr,
                  "lra: LRA_KERNEL_VARIANT=%s is not a kernel variant "
-                 "(naive|blocked); using blocked\n",
-                 env);
+                 "(%s); using simd\n",
+                 env, kKernelVariantNames);
   }
-  return static_cast<int>(KernelVariant::kBlocked);
+  return static_cast<int>(KernelVariant::kSimd);
 }
 
 }  // namespace
@@ -51,11 +51,29 @@ bool parse_kernel_variant(std::string_view text, KernelVariant* out) {
     *out = KernelVariant::kBlocked;
     return true;
   }
+  if (text == "simd") {
+    *out = KernelVariant::kSimd;
+    return true;
+  }
+  if (text == "simd-strict") {
+    *out = KernelVariant::kSimdStrict;
+    return true;
+  }
   return false;
 }
 
 const char* to_string(KernelVariant v) {
-  return v == KernelVariant::kNaive ? "naive" : "blocked";
+  switch (v) {
+    case KernelVariant::kNaive:
+      return "naive";
+    case KernelVariant::kBlocked:
+      return "blocked";
+    case KernelVariant::kSimd:
+      return "simd";
+    case KernelVariant::kSimdStrict:
+      return "simd-strict";
+  }
+  return "?";
 }
 
 }  // namespace lra

@@ -1,30 +1,42 @@
 #pragma once
-// Runtime switch between the seed ("naive") compute kernels and the packed /
-// register-tiled ("blocked") rewrites in dense/blas.cpp and sparse/ops.cpp.
+// Runtime switch between the kernel implementations in dense/blas.cpp and
+// sparse/ops.cpp:
 //
-// Both variants are always compiled; the dispatch happens once per kernel
+//   naive       — the seed loops; the bitwise reference.
+//   blocked     — PR 4's packed / register-tiled rewrites (scalar code).
+//   simd        — the vectorized kernels on support/simd.hpp, using hardware
+//                 FMA where the build's ISA has it. Deterministic (same
+//                 input, same bits at any thread count / tile config), but
+//                 gated against naive by a ULP bound, not bitwise identity.
+//   simd-strict — the same vectorized kernels restricted to the two-rounding
+//                 mul+add chain with lane-sequential k-accumulation; bitwise
+//                 identical to naive and what the determinism suite, the
+//                 differential oracle, and the distributed solvers' bitwise
+//                 tests pin.
+//
+// All variants are always compiled; the dispatch happens once per kernel
 // call on a cached flag. Selection order: set_kernel_variant() (the
-// --kernel-variant=naive|blocked CLI flag), then the LRA_KERNEL_VARIANT
-// environment variable, then the blocked default. The escape hatch exists
-// for three reasons: a fast way to bisect perf or correctness regressions
-// to the kernel rewrite, an A/B axis for bench_kernels' speedup numbers,
-// and the lever the bitwise-identity tests use to pit the two
-// implementations against each other on the same inputs.
+// --kernel-variant CLI flag), then the LRA_KERNEL_VARIANT environment
+// variable, then the simd default.
 //
 // For inputs free of non-finite values and exact-zero entries in the dense
-// operands, both variants produce bitwise-identical results at any thread
-// count (see the determinism notes in ARCHITECTURE.md): the blocked kernels
-// tile only over output rows/columns and never split a k-reduction, so each
-// output element accumulates its terms in exactly the seed kernel's order.
-// The one behavioural difference is that the seed GEMM/SpMM skip
+// operands, naive / blocked / simd-strict produce bitwise-identical results
+// at any thread count (see the determinism notes in ARCHITECTURE.md): these
+// kernels tile only over output rows/columns and never split a k-reduction,
+// so each output element accumulates its terms in exactly the seed kernel's
+// order. The one behavioural difference is that the seed GEMM/SpMM skip
 // multiply-adds whose dense multiplier is exactly 0.0, which can flip a
-// -0.0 or suppress a NaN on degenerate inputs.
+// -0.0 or suppress a NaN on degenerate inputs; simd (like blocked's interior
+// tiles) multiplies through instead.
 
 #include <string_view>
 
 namespace lra {
 
-enum class KernelVariant { kNaive, kBlocked };
+enum class KernelVariant { kNaive, kBlocked, kSimd, kSimdStrict };
+
+/// All accepted --kernel-variant / LRA_KERNEL_VARIANT spellings.
+inline constexpr char kKernelVariantNames[] = "naive|blocked|simd|simd-strict";
 
 /// Active variant (cached; first call consults LRA_KERNEL_VARIANT).
 KernelVariant kernel_variant();
@@ -33,7 +45,7 @@ KernelVariant kernel_variant();
 /// calls; not synchronized with kernels already running on the pool.
 void set_kernel_variant(KernelVariant v);
 
-/// "naive" / "blocked" -> enum; returns false on anything else.
+/// "naive" / "blocked" / "simd" / "simd-strict" -> enum; false otherwise.
 bool parse_kernel_variant(std::string_view text, KernelVariant* out);
 
 const char* to_string(KernelVariant v);

@@ -1,0 +1,68 @@
+#include "support/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+// This file is compiled with the same per-source ISA flags as the kernel
+// TUs (see src/CMakeLists.txt), so the LRA_SIMD_ISA_* macro it sees is the
+// one the kernels were actually built for — the runtime queries below report
+// the kernel ISA, not the flags of whichever TU calls them.
+
+namespace lra::simd {
+namespace {
+
+std::string read_cpu_model() {
+#if defined(__linux__)
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+#endif
+  return "unknown";
+}
+
+// Startup guard: a binary compiled for AVX2 must never reach a kernel on a
+// CPU without it — that dies as SIGILL deep inside a solve. Verify once,
+// before main(), and fail with an actionable message instead.
+struct IsaStartupCheck {
+  IsaStartupCheck() { verify_simd_isa(); }
+};
+const IsaStartupCheck kStartupCheck;
+
+}  // namespace
+
+const char* simd_isa_name() noexcept { return kIsaName; }
+int simd_width() noexcept { return kWidth; }
+bool simd_has_fma() noexcept { return kHasFma; }
+
+const char* cpu_model_name() noexcept {
+  static const std::string model = read_cpu_model();
+  return model.c_str();
+}
+
+void verify_simd_isa() {
+#if defined(LRA_SIMD_ISA_AVX2) && (defined(__GNUC__) || defined(__clang__))
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    std::fprintf(stderr,
+                 "lra: this binary was compiled for AVX2+FMA but the host "
+                 "CPU (%s) does not support it.\n"
+                 "     Rebuild with -DLRA_SIMD=OFF (scalar kernels) or on a "
+                 "matching machine.\n",
+                 cpu_model_name());
+    std::abort();
+  }
+#endif
+  // SSE2 is the x86-64 baseline and the scalar path has no ISA requirement:
+  // nothing to verify on those builds.
+}
+
+}  // namespace lra::simd

@@ -4,13 +4,24 @@
 // reference, per (kernel, shape, variant) leg, on GFLOP/s:
 //
 //   ./bench_diff --ref=BENCH_kernels.json --new=fresh.json
-//                [--warn=0.10] [--fail=0.25]
+//                [--warn=0.10] [--fail=0.25] [--update-ref]
 //
 // A leg that lost more than --warn of its reference throughput prints a
 // warning; more than --fail (or a leg missing from the fresh run) fails the
 // process. CI runs this after the kernel perf smoke so a kernel-layer change
 // that quietly tanks throughput blocks the merge; the thresholds absorb
 // runner noise (hosted runners jitter well inside 10%).
+//
+// Throughput is only comparable within one ISA class: when both documents
+// carry an "isa" header field (bench_kernels/v2) and they disagree — e.g. an
+// avx2 reference diffed on a machine whose build fell back to sse2 or scalar
+// — the gate warns and SKIPS the comparison (exit 0) instead of failing on
+// numbers that were never commensurable. References produced before the isa
+// field existed compare as before.
+//
+// --update-ref copies the fresh run over the reference path after the gate
+// (pass or fail), which is how BENCH_kernels.json gets recommitted after an
+// intentional kernel change.
 //
 // Lint mode greps the source tree for PhaseScope annotations and checks
 // every literal against the documented taxonomy (obs/prof/phase.hpp,
@@ -66,16 +77,35 @@ int run_gate(const lra::Cli& cli) {
   if (ref_path.empty() || new_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_diff --ref=REF.json --new=NEW.json "
-                 "[--warn=0.10] [--fail=0.25]\n"
+                 "[--warn=0.10] [--fail=0.25] [--update-ref]\n"
                  "       bench_diff --lint-phases [--src=DIR]\n");
     return 2;
   }
   const double warn = cli.get_double("warn", 0.10);
   const double fail = cli.get_double("fail", 0.25);
 
-  const auto ref = index_results(lra::obs::parse_json_file(ref_path), ref_path);
-  const auto fresh =
-      index_results(lra::obs::parse_json_file(new_path), new_path);
+  const JsonValue ref_doc = lra::obs::parse_json_file(ref_path);
+  const JsonValue new_doc = lra::obs::parse_json_file(new_path);
+
+  // ISA guard: cross-ISA throughput diffs are meaningless, not regressions.
+  const std::string ref_isa = ref_doc.string_or("isa", "");
+  const std::string new_isa = new_doc.string_or("isa", "");
+  if (!ref_isa.empty() && !new_isa.empty() && ref_isa != new_isa) {
+    std::fprintf(stderr,
+                 "WARN isa mismatch: reference is %s, this run is %s — "
+                 "skipping the perf gate (throughput not comparable)\n",
+                 ref_isa.c_str(), new_isa.c_str());
+    if (cli.has("update-ref")) {
+      std::fprintf(stderr,
+                   "WARN --update-ref ignored on isa mismatch (would replace "
+                   "the %s reference with %s numbers)\n",
+                   ref_isa.c_str(), new_isa.c_str());
+    }
+    return 0;
+  }
+
+  const auto ref = index_results(ref_doc, ref_path);
+  const auto fresh = index_results(new_doc, new_path);
 
   int warned = 0, failed = 0;
   for (const auto& [key, ref_gflops] : ref) {
@@ -101,6 +131,19 @@ int run_gate(const lra::Cli& cli) {
   std::printf("bench_diff: %zu legs, %d warning(s), %d failure(s) "
               "(warn > %.0f%%, fail > %.0f%%)\n",
               ref.size(), warned, failed, 100.0 * warn, 100.0 * fail);
+  if (cli.has("update-ref")) {
+    std::error_code ec;
+    std::filesystem::copy_file(new_path, ref_path,
+                               std::filesystem::copy_options::overwrite_existing,
+                               ec);
+    if (ec) {
+      std::fprintf(stderr, "bench_diff: --update-ref failed: %s\n",
+                   ec.message().c_str());
+      return 2;
+    }
+    std::printf("bench_diff: reference updated: %s -> %s\n", new_path.c_str(),
+                ref_path.c_str());
+  }
   return failed > 0 ? 1 : 0;
 }
 

@@ -109,26 +109,60 @@ file(WRITE ${repro} "{\"matrix\": \"M1\", \"scale\": 0.25, \"method\": \"lu_crtp
 run(${LRA_CLI} repro --file=${repro})
 run(${LRA_CLI} --repro=${repro})
 
-# Kernel-variant leg: the same approximation computed with the naive and the
-# blocked kernels must serialize to byte-identical factor files (randqb and
-# lu cover the GEMM-heavy and the Schur-update paths end to end).
+# Kernel-variant leg: the same approximation computed with the naive, the
+# blocked and the simd-strict kernels must serialize to byte-identical factor
+# files (randqb and lu cover the GEMM-heavy and the Schur-update paths end to
+# end; simd-strict is the vectorized variant whose contract is bitwise
+# identity with naive — `simd` is only ULP-comparable and is gated in
+# bench_kernels instead).
 foreach(method randqb lu)
   set(fact_naive ${WORK_DIR}/cli_test_${method}_naive.fact)
-  set(fact_blocked ${WORK_DIR}/cli_test_${method}_blocked.fact)
   run(${LRA_CLI} approx --mtx=${mtx} --method=${method} --tau=1e-2
       --kernel-variant=naive --out=${fact_naive})
-  run(${LRA_CLI} approx --mtx=${mtx} --method=${method} --tau=1e-2
-      --kernel-variant=blocked --out=${fact_blocked})
-  execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files ${fact_naive} ${fact_blocked}
-    RESULT_VARIABLE rc)
-  if(NOT rc EQUAL 0)
-    message(FATAL_ERROR
-            "${method}: naive and blocked kernel variants produced different "
-            "factor files (${fact_naive} vs ${fact_blocked})")
-  endif()
-  file(REMOVE ${fact_naive} ${fact_blocked})
+  foreach(variant blocked simd-strict)
+    set(fact_variant ${WORK_DIR}/cli_test_${method}_${variant}.fact)
+    run(${LRA_CLI} approx --mtx=${mtx} --method=${method} --tau=1e-2
+        --kernel-variant=${variant} --out=${fact_variant})
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${fact_naive} ${fact_variant}
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "${method}: naive and ${variant} kernel variants produced "
+              "different factor files (${fact_naive} vs ${fact_variant})")
+    endif()
+    file(REMOVE ${fact_variant})
+  endforeach()
+  file(REMOVE ${fact_naive})
 endforeach()
+
+# Autotune leg: `tune` writes a schema-valid cache that the next invocation
+# picks up from $LRA_AUTOTUNE_CACHE (any valid geometry must leave the
+# factors byte-identical — the config is a pure perf knob).
+set(tune_cache ${WORK_DIR}/cli_test_autotune.json)
+run(${LRA_CLI} tune --quick --reps=1 --gemm-n=96 --out=${tune_cache})
+file(READ ${tune_cache} tune_contents)
+string(FIND "${tune_contents}" "lra_autotune/v1" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "tune cache is missing the schema tag:\n${tune_contents}")
+endif()
+set(fact_default ${WORK_DIR}/cli_test_tuned_default.fact)
+set(fact_tuned ${WORK_DIR}/cli_test_tuned_cache.fact)
+run(${LRA_CLI} approx --mtx=${mtx} --method=randqb --tau=1e-2
+    --kernel-variant=simd --out=${fact_default})
+set(ENV{LRA_AUTOTUNE_CACHE} ${tune_cache})
+run(${LRA_CLI} approx --mtx=${mtx} --method=randqb --tau=1e-2
+    --kernel-variant=simd --out=${fact_tuned})
+unset(ENV{LRA_AUTOTUNE_CACHE})
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${fact_default} ${fact_tuned}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "autotune cache changed the simd factor bits "
+          "(${fact_default} vs ${fact_tuned})")
+endif()
+file(REMOVE ${fact_default} ${fact_tuned} ${tune_cache})
 
 # A bad variant must be rejected with the usage exit code, not run.
 execute_process(
@@ -137,7 +171,7 @@ execute_process(
 if(NOT rc EQUAL 2)
   message(FATAL_ERROR "--kernel-variant=fast exited ${rc}, expected 2:\n${err}")
 endif()
-string(FIND "${err}" "expected naive|blocked" found)
+string(FIND "${err}" "expected naive|blocked|simd|simd-strict" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "--kernel-variant=fast did not explain itself:\n${err}")
 endif()

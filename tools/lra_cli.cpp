@@ -38,18 +38,29 @@
 //   pool (default: LRA_NUM_THREADS or the hardware concurrency; 0 or
 //   negative values warn and fall back to 1). Simulated ranks (--np) always
 //   compute single-threaded per rank so virtual times stay comparable.
-//   Every subcommand also accepts --kernel-variant=naive|blocked to pick
-//   the compute-kernel implementations (default: LRA_KERNEL_VARIANT or
-//   blocked); `naive` selects the reference loops for differential checks.
+//   Every subcommand also accepts
+//   --kernel-variant=naive|blocked|simd|simd-strict to pick the
+//   compute-kernel implementations (default: LRA_KERNEL_VARIANT or simd);
+//   `naive` selects the reference loops for differential checks and
+//   `simd-strict` the vectorized kernels that stay bitwise identical to them.
 //   lra_cli verify --mtx=a.mtx --fact=fact.bin
 //       Reload stored factors and report the exact achieved error.
+//   lra_cli tune [--quick] [--reps=5] [--out=lra_autotune.json]
+//       Sweep the simd GEMM macro/micro tile shapes and the
+//       dense_times_csc row-panel height on this machine, print per-candidate
+//       GFLOP/s, and write the winner as an autotune cache (schema
+//       lra_autotune/v1). Kernels consult the cache at startup via
+//       $LRA_AUTOTUNE_CACHE or ./lra_autotune.json; the geometry changes
+//       only speed, never bits. --quick shrinks the timing problems for CI.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/driver.hpp"
 #include "core/fixed_rank.hpp"
@@ -58,6 +69,7 @@
 #include "core/randqb_ei_dist.hpp"
 #include "core/randubv_dist.hpp"
 #include "core/serialize.hpp"
+#include "dense/blas.hpp"
 #include "dense/svd.hpp"
 #include "gen/presets.hpp"
 #include "obs/prof/profile.hpp"
@@ -71,8 +83,10 @@
 #include "sim/shrink.hpp"
 #include "sparse/io_mm.hpp"
 #include "sparse/ops.hpp"
+#include "support/autotune.hpp"
 #include "support/cli.hpp"
 #include "support/kernel_variant.hpp"
+#include "support/simd.hpp"
 #include "support/stopwatch.hpp"
 #include "support/workspace.hpp"
 
@@ -82,8 +96,8 @@ using namespace lra;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: lra_cli <generate|info|approx|profile|repro|verify> "
-               "[--flags]\n"
+               "usage: lra_cli <generate|info|approx|profile|repro|tune"
+               "|verify> [--flags]\n"
                "see the header of tools/lra_cli.cpp for details\n");
   return 2;
 }
@@ -414,6 +428,108 @@ int cmd_verify(const Cli& cli) {
   return 0;
 }
 
+// Median wall time of fn() over `reps` timed runs after one warm-up call —
+// the shared machines these sweeps run on are noisy, and the median is far
+// more stable than min or mean there.
+template <typename Fn>
+double tune_time(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch clock;
+    fn();
+    samples.push_back(clock.seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+int cmd_tune(const Cli& cli) {
+  const bool quick = cli.has("quick");
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 3 : 5));
+  const std::string out_path =
+      cli.get("out", std::string(kAutotuneDefaultFile));
+  const int width = simd::simd_width();
+
+  std::printf("tune      : isa=%s width=%d fma=%d\n", simd::simd_isa_name(),
+              width, simd::simd_has_fma() ? 1 : 0);
+  std::printf("cpu       : %s\n", simd::cpu_model_name());
+  set_kernel_variant(KernelVariant::kSimd);
+
+  // GEMM sweep: micro-tile shapes cross macro panel sizes, scored on an nn
+  // product (the dominant solver shape). Every candidate computes identical
+  // bits — the geometry is a pure perf knob — so the sweep only times them.
+  const Index gn = cli.get_int("gemm-n", quick ? 192 : 384);
+  const Matrix ga = Matrix::gaussian(gn, gn, 11);
+  const Matrix gb = Matrix::gaussian(gn, gn, 12);
+  Matrix gc(gn, gn);
+  const double gflop = 2.0 * static_cast<double>(gn) * gn * gn;
+  struct MicroShape {
+    int mv, nr;
+  };
+  // Must stay in sync with the instantiated micro-kernel table in
+  // dense/blas.cpp; shapes outside it silently fall back to 2x4 there.
+  const MicroShape shapes[] = {{1, 4}, {2, 4}, {3, 4}, {4, 4},
+                               {1, 8}, {2, 6}, {2, 8}};
+  KernelConfig best = default_kernel_config();
+  double best_gf = 0.0;
+  for (const MicroShape& sh : shapes) {
+    for (const int mc : {64, 128, 256}) {
+      for (const int kc : {128, 256, 384}) {
+        KernelConfig cand = default_kernel_config();
+        const int mr = sh.mv * width;
+        cand.gemm.mv = sh.mv;
+        cand.gemm.nr = sh.nr;
+        cand.gemm.kc = kc;
+        cand.gemm.mc = std::max(mr, mc - mc % mr);
+        if (!set_kernel_config(cand)) continue;
+        const double gf =
+            gflop / tune_time(reps, [&] { gemm(gc, ga, gb); }) * 1e-9;
+        std::printf("  gemm mv=%d nr=%d mc=%-4d kc=%-4d %7.2f GF/s\n", sh.mv,
+                    sh.nr, cand.gemm.mc, kc, gf);
+        if (gf > best_gf) {
+          best_gf = gf;
+          best.gemm = cand.gemm;
+        }
+      }
+    }
+  }
+
+  // dense_times_csc sweep: row-panel heights on a synthetic sparse probe
+  // shaped like the solver's B * A products (short dense operand).
+  const CscMatrix sa = make_preset("M2", quick ? 0.125 : 0.25).a;
+  const Index dm = cli.get_int("dtc-m", 32);
+  const Matrix db = Matrix::gaussian(dm, sa.rows(), 13);
+  Matrix dc;
+  const double dflop = 2.0 * static_cast<double>(sa.nnz()) * dm;
+  double best_dgf = 0.0;
+  for (const int ibw : {2, 4, 8}) {
+    KernelConfig cand = best;
+    cand.dtc.ib = ibw * width;
+    if (!set_kernel_config(cand)) continue;
+    const double gf =
+        dflop / tune_time(reps, [&] { dense_times_csc_into(dc, db, sa); }) *
+        1e-9;
+    std::printf("  dtc ib=%-3d %7.2f GF/s\n", cand.dtc.ib, gf);
+    if (gf > best_dgf) {
+      best_dgf = gf;
+      best.dtc = cand.dtc;
+    }
+  }
+
+  best.source = "tune";
+  std::string err;
+  if (!save_kernel_config_file(out_path, best, &err)) {
+    std::fprintf(stderr, "tune: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("winner    : %s (gemm %.2f GF/s, dtc %.2f GF/s)\n",
+              kernel_config_summary(best).c_str(), best_gf, best_dgf);
+  std::printf("cache     -> %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -430,9 +546,8 @@ int main(int argc, char** argv) {
       const std::string v = cli.get("kernel-variant", "");
       lra::KernelVariant kv;
       if (!lra::parse_kernel_variant(v, &kv)) {
-        std::fprintf(stderr,
-                     "error: --kernel-variant=%s (expected naive|blocked)\n",
-                     v.c_str());
+        std::fprintf(stderr, "error: --kernel-variant=%s (expected %s)\n",
+                     v.c_str(), lra::kKernelVariantNames);
         return 2;
       }
       lra::set_kernel_variant(kv);
@@ -447,6 +562,7 @@ int main(int argc, char** argv) {
     if (cmd == "approx") return cmd_approx(cli);
     if (cmd == "profile") return cmd_profile(cli);
     if (cmd == "repro") return cmd_repro(cli);
+    if (cmd == "tune") return cmd_tune(cli);
     if (cmd == "verify") return cmd_verify(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
